@@ -1,0 +1,464 @@
+// Benchmark harness: one testing.B benchmark per table/figure in the
+// paper's evaluation, plus micro-benchmarks for the core building blocks
+// and ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// The figure benchmarks report the paper-relevant headline metrics via
+// b.ReportMetric, so `go test -bench=Fig -benchmem` regenerates both the
+// performance and the reproduction numbers.
+package actor_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/dataset"
+	"github.com/greenhpc/actor/internal/exp"
+	"github.com/greenhpc/actor/internal/kernels"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/mlr"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/omp"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// shared state for the expensive leave-one-out training, built once.
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+	looModels *exp.LOOModels
+	suiteErr  error
+)
+
+func sharedSuite(b *testing.B) (*exp.Suite, *exp.LOOModels) {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = exp.NewSuite(exp.FastOptions())
+		if suiteErr != nil {
+			return
+		}
+		looModels, suiteErr = suite.TrainLeaveOneOut()
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite, looModels
+}
+
+// --- Figure benchmarks ---------------------------------------------------
+
+func BenchmarkFig1ExecutionTimes(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var last *exp.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig1ExecutionTimes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Speedup("BT", "4"), "BT-speedup4(paper=2.69)")
+	b.ReportMetric(last.Speedup("IS", "4"), "IS-speedup4(paper=0.60)")
+	b.ReportMetric(last.Speedup("MG", "2b"), "MG-speedup2b(paper=1.29)")
+}
+
+func BenchmarkFig2PhaseIPC(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var last *exp.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig2PhaseIPC("SP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	lo, hi := last.MaxIPCRange()
+	b.ReportMetric(lo, "SP-minPhaseIPC(paper=0.32)")
+	b.ReportMetric(hi, "SP-maxPhaseIPC(paper=4.64)")
+}
+
+func BenchmarkFig3PowerEnergy(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var last *exp.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig3PowerEnergy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	p, e, err := last.GeoMeanNormalized("4", "1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(p, "geomean-power-4v1(paper≈1.14)")
+	b.ReportMetric(e, "geomean-energy-4v1")
+}
+
+func BenchmarkFig6PredictionCDF(b *testing.B) {
+	s, loo := sharedSuite(b)
+	var f6 *exp.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		f6, _, err = s.EvalPrediction(loo)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f6.MedianErr*100, "median-error-pct(paper=9.1)")
+	b.ReportMetric(f6.FracUnder5*100, "under5-pct(paper=29.2)")
+}
+
+func BenchmarkFig7RankSelection(b *testing.B) {
+	s, loo := sharedSuite(b)
+	var f7 *exp.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, f7, err = s.EvalPrediction(loo)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f7.Hist.Fraction(1)*100, "rank1-pct(paper=59.3)")
+	b.ReportMetric(f7.Hist.Fraction(2)*100, "rank2-pct(paper=28.8)")
+}
+
+func BenchmarkFig8Throttling(b *testing.B) {
+	s, loo := sharedSuite(b)
+	var r *exp.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.Fig8Throttling(loo)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric((1-r.AverageNormalized("Prediction", exp.MetricTime))*100, "perf-gain-pct(paper=6.5)")
+	b.ReportMetric((1-r.AverageNormalized("Prediction", exp.MetricED2))*100, "ed2-saving-pct(paper=17.2)")
+	b.ReportMetric((1-r.Normalized("IS", "Prediction", exp.MetricED2))*100, "IS-ed2-saving-pct(paper=71.6)")
+}
+
+// BenchmarkExtensionDVFS reports the joint concurrency+DVFS study's AVG
+// normalised ED² per strategy.
+func BenchmarkExtensionDVFS(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var r *exp.DVFSResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.DVFSStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	avg := func(col string) float64 {
+		var sum float64
+		for _, bench := range r.Order {
+			sum += r.ED2[bench][col]
+		}
+		return sum / float64(len(r.Order))
+	}
+	b.ReportMetric(avg("concurrency-only"), "conc-only-ED2")
+	b.ReportMetric(avg("dvfs-only"), "dvfs-only-ED2")
+	b.ReportMetric(avg("joint"), "joint-ED2")
+}
+
+// BenchmarkExtensionFutureScaling reports the oracle throttling gain at 4
+// and 32 cores.
+func BenchmarkExtensionFutureScaling(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var r *exp.FutureScalingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.FutureScaling()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AverageGain(4)*100, "gain4cores-pct")
+	b.ReportMetric(r.AverageGain(32)*100, "gain32cores-pct")
+}
+
+// --- Ablation benchmarks (design choices from DESIGN.md) ------------------
+
+// BenchmarkAblationANNvsMLR compares the paper's ANN ensembles against the
+// prior-work multiple-linear-regression predictor on identical data.
+func BenchmarkAblationANNvsMLR(b *testing.B) {
+	s, _ := sharedSuite(b)
+	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector.Repetitions = 3
+	samples, err := collector.CollectSuite(s.Benches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := dataset.LeaveOneOut(samples, "SP")
+	test := samples["SP"]
+	events := pmu.FullEventSet()
+
+	evalPred := func(p core.Predictor) float64 {
+		var errSum float64
+		var n int
+		for _, ps := range test {
+			preds, err := p.PredictIPC(ps.Rates)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tgt := range exp.TargetConfigs {
+				obs := ps.MeasuredIPC[tgt]
+				if obs > 0 {
+					d := (preds[tgt] - obs) / obs
+					if d < 0 {
+						d = -d
+					}
+					errSum += d
+					n++
+				}
+			}
+		}
+		return errSum / float64(n)
+	}
+
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 150
+	var annErr, mlrErr float64
+	for i := 0; i < b.N; i++ {
+		annBank, err := core.TrainANNBank(train, []int{12}, exp.TargetConfigs, 5, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mlrBank, err := core.TrainMLRBank(train, []int{12}, exp.TargetConfigs, 1e-6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		annErr = evalPred(annBank.Predictors()[0])
+		mlrErr = evalPred(mlrBank.Predictors()[0])
+	}
+	b.ReportMetric(annErr*100, "ann-mean-error-pct")
+	b.ReportMetric(mlrErr*100, "mlr-mean-error-pct")
+	_ = events
+}
+
+// BenchmarkAblationEnsembleSize measures accuracy and cost of k-fold
+// ensembles (k = 3, 10) against a single network.
+func BenchmarkAblationEnsembleSize(b *testing.B) {
+	s, _ := sharedSuite(b)
+	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector.Repetitions = 3
+	samples, err := collector.CollectSuite(s.Benches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := dataset.LeaveOneOut(samples, "CG")
+	events := pmu.FullEventSet()
+	ss, err := dataset.ToSamples(train, events, "2b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 120
+	for _, k := range []int{3, 10} {
+		k := k
+		b.Run(map[int]string{3: "k3", 10: "k10"}[k], func(b *testing.B) {
+			var est float64
+			for i := 0; i < b.N; i++ {
+				ens, err := ann.TrainEnsemble(ss, k, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = ens.EstimateMSE
+			}
+			b.ReportMetric(est, "estimate-mse")
+		})
+	}
+}
+
+// BenchmarkAblationSearchVsPrediction compares the online cost and outcome
+// of empirical search [17] against ANN prediction on a short-iteration
+// benchmark, where search overhead hurts most.
+func BenchmarkAblationSearchVsPrediction(b *testing.B) {
+	s, loo := sharedSuite(b)
+	env := core.NewEnv(s.Noisy, s.Truth, s.Power)
+	is, err := s.Bench("IS")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tSearch, tPred float64
+	for i := 0; i < b.N; i++ {
+		rs, err := (&core.Search{ProbesPerConfig: 1}).Run(is, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp, err := (&core.Prediction{Bank: loo.Banks["IS"]}).Run(is, env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tSearch, tPred = rs.TimeSec, rp.TimeSec
+	}
+	b.ReportMetric(tSearch, "search-time-sec")
+	b.ReportMetric(tPred, "prediction-time-sec")
+}
+
+// BenchmarkAblationHiddenTopology compares single- and two-hidden-layer
+// network topologies on identical training data (the paper cites the
+// universal-approximation property of three-layer nets; this quantifies
+// whether depth buys anything here).
+func BenchmarkAblationHiddenTopology(b *testing.B) {
+	s, _ := sharedSuite(b)
+	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector.Repetitions = 3
+	samples, err := collector.CollectSuite(s.Benches)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train := dataset.LeaveOneOut(samples, "LU")
+	ss, err := dataset.ToSamples(train, pmu.FullEventSet(), "2b")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, topo := range []struct {
+		name   string
+		hidden []int
+	}{
+		{"h16", []int{16}},
+		{"h8", []int{8}},
+		{"h16x8", []int{16, 8}},
+	} {
+		topo := topo
+		b.Run(topo.name, func(b *testing.B) {
+			cfg := ann.DefaultConfig()
+			cfg.MaxEpochs = 120
+			cfg.Hidden = topo.hidden
+			var est float64
+			for i := 0; i < b.N; i++ {
+				ens, err := ann.TrainEnsemble(ss, 5, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				est = ens.EstimateMSE
+			}
+			b.ReportMetric(est, "estimate-mse")
+		})
+	}
+}
+
+// --- Micro-benchmarks ------------------------------------------------------
+
+func BenchmarkMachineRunPhase(b *testing.B) {
+	m, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench, _ := npb.ByName("SP")
+	cfg, _ := topology.ConfigByName("4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunPhase(&bench.Phases[i%len(bench.Phases)], bench.Idiosyncrasy, cfg)
+	}
+}
+
+func BenchmarkANNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := ann.NewNetwork([]int{13, 16, 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, 13)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Predict(x)
+	}
+}
+
+func BenchmarkANNTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]ann.Sample, 200)
+	for i := range samples {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		samples[i] = ann.Sample{X: x, Y: x[0]*x[1] - x[2]}
+	}
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ann.Train(samples[:160], samples[160:], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMLRFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]ann.Sample, 400)
+	for i := range samples {
+		x := make([]float64, 13)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		samples[i] = ann.Sample{X: x, Y: x[0] + 2*x[5]}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlr.Fit(samples, 1e-8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPMURotation(b *testing.B) {
+	file, err := pmu.NewCounterFile(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := pmu.Counts{
+		pmu.Instructions: 1e9, pmu.Cycles: 2e9,
+		pmu.L2Misses: 1e6, pmu.BusTransMem: 2e6, pmu.L1DMisses: 5e6,
+		pmu.L2References: 6e6, pmu.BusDrdyClocks: 1e8, pmu.ResourceStalls: 9e8,
+		pmu.LoadsRetired: 2e8, pmu.StoresRetired: 1e8, pmu.DTLBMisses: 1e5,
+		pmu.BranchesRet: 8e7, pmu.BranchMisses: 1e6, pmu.L1DReferences: 3e8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := pmu.PlanRotation(pmu.FullEventSet(), 2, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := pmu.NewSampler(file, plan)
+		for !s.Done() {
+			if err := s.Observe(truth); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Rates()
+	}
+}
+
+func BenchmarkKernels(b *testing.B) {
+	for _, k := range kernels.All(1) {
+		k := k
+		b.Run(k.Name(), func(b *testing.B) {
+			team := omp.NewTeam(2, false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Step(team)
+			}
+		})
+	}
+}
+
+func BenchmarkOMPParallelFor(b *testing.B) {
+	team := omp.NewTeam(4, false)
+	data := make([]float64, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		team.ParallelBlocks(len(data), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				data[j] = data[j]*0.5 + 1
+			}
+		})
+	}
+}

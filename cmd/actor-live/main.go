@@ -1,0 +1,81 @@
+// Command actor-live throttles real Go computation: it runs the NPB-style
+// mini-kernels on the omp worker team, wrapping every timestep in the
+// LiveTuner's Begin/End instrumentation, and reports the concurrency level
+// each kernel settles on plus the throughput at each probed level.
+//
+// Usage:
+//
+//	actor-live [-kernel NAME] [-scale N] [-steps N] [-max T] [-probes P]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/kernels"
+	"github.com/greenhpc/actor/internal/omp"
+)
+
+func main() {
+	kernel := flag.String("kernel", "", "run a single kernel (default: all)")
+	scale := flag.Int("scale", 2, "problem-size scale factor")
+	steps := flag.Int("steps", 30, "timesteps per kernel")
+	maxT := flag.Int("max", runtime.NumCPU(), "maximum thread count to probe")
+	probes := flag.Int("probes", 2, "probe executions per candidate")
+	flag.Parse()
+
+	var list []kernels.Kernel
+	if *kernel != "" {
+		k, err := kernels.ByName(*kernel, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		list = []kernels.Kernel{k}
+	} else {
+		list = kernels.All(*scale)
+	}
+
+	fmt.Printf("probing 1..%d threads, %d probes each, %d timesteps per kernel\n\n",
+		*maxT, *probes, *steps)
+	for _, k := range list {
+		team := omp.NewTeam(*maxT, false)
+		tuner, err := core.NewLiveTuner(core.DefaultCandidates(*maxT), *probes)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		for it := 0; it < *steps; it++ {
+			team.SetThreads(tuner.Begin())
+			k.Step(team)
+			tuner.End()
+		}
+		elapsed := time.Since(start)
+
+		fmt.Printf("%-6s locked to %d threads; %d steps in %.1f ms\n",
+			k.Name(), tuner.Choice(), *steps, float64(elapsed.Microseconds())/1000)
+		// Per-candidate probe throughput, best first.
+		pt := tuner.ProbeTimes()
+		type row struct {
+			threads int
+			sec     float64
+		}
+		var rows []row
+		for th, sec := range pt {
+			rows = append(rows, row{th, sec})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].sec < rows[j].sec })
+		for _, r := range rows {
+			fmt.Printf("         %d threads: %7.2f ms per probe set\n", r.threads, r.sec*1000)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actor-live:", err)
+	os.Exit(1)
+}

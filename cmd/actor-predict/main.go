@@ -1,0 +1,86 @@
+// Command actor-predict loads a trained ACTOR model and predicts the
+// best threading configuration from observed counter rates — the online
+// decision step, runnable standalone for inspection and scripting.
+//
+// Rates arrive as JSON on stdin: a map from event mnemonic to per-cycle
+// rate, with "IPC" giving the sampled instructions per cycle:
+//
+//	echo '{"IPC":1.1,"L2_LINES_IN":0.004,"BUS_TRANS_MEM":0.005}' | \
+//	    actor-predict -model models/suite-12events.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+func main() {
+	model := flag.String("model", "models/suite-12events.json", "path to a model written by actor-train")
+	flag.Parse()
+
+	data, err := os.ReadFile(*model)
+	if err != nil {
+		fatal(err)
+	}
+	pred, err := core.UnmarshalPredictor(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	in, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	var raw map[string]float64
+	if err := json.Unmarshal(in, &raw); err != nil {
+		fatal(fmt.Errorf("parsing rates from stdin: %w", err))
+	}
+	rates := pmu.Rates{}
+	for name, v := range raw {
+		if name == "IPC" {
+			rates[pmu.Instructions] = v
+			continue
+		}
+		e, ok := pmu.EventByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown event %q", name))
+		}
+		rates[e] = v
+	}
+
+	preds, err := pred.PredictIPC(rates)
+	if err != nil {
+		fatal(err)
+	}
+	type kv struct {
+		cfg string
+		ipc float64
+	}
+	var list []kv
+	for cfg, ipc := range preds {
+		list = append(list, kv{cfg, ipc})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ipc > list[j].ipc })
+	fmt.Println("predicted IPC by configuration (best first):")
+	for _, e := range list {
+		fmt.Printf("  %-4s %.3f\n", e.cfg, e.ipc)
+	}
+	best := list[0]
+	if obs, ok := rates[pmu.Instructions]; ok && obs > best.ipc {
+		fmt.Printf("recommendation: stay at the sampling configuration (observed IPC %.3f)\n", obs)
+	} else {
+		fmt.Printf("recommendation: throttle to configuration %s\n", best.cfg)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actor-predict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command actorsim reproduces the paper's evaluation on the simulated
+// quad-core Xeon platform. Each subcommand regenerates one figure; "all"
+// runs the complete evaluation.
+//
+// Usage:
+//
+//	actorsim [flags] {scalability|phases|power|accuracy|ranks|throttle|extensions|generalize|robustness|all}
+//
+// Flags:
+//
+//	-seed N     experiment seed (default 42)
+//	-fast       use the reduced-fidelity training options (quicker)
+//	-bench B    benchmark for the "phases" subcommand (default SP)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/greenhpc/actor/internal/exp"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "experiment seed")
+	fast := flag.Bool("fast", false, "use reduced-fidelity training options")
+	bench := flag.String("bench", "SP", "benchmark for the phases subcommand")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+
+	opts := exp.DefaultOptions()
+	if *fast {
+		opts = exp.FastOptions()
+	}
+	opts.Seed = *seed
+
+	suite, err := exp.NewSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "scalability":
+		run1(suite)
+	case "phases":
+		run2(suite, *bench)
+	case "power":
+		run3(suite)
+	case "accuracy":
+		loo := train(suite)
+		run67(suite, loo, true, false)
+	case "ranks":
+		loo := train(suite)
+		run67(suite, loo, false, true)
+	case "throttle":
+		loo := train(suite)
+		run8(suite, loo)
+	case "extensions":
+		runExtensions(suite)
+	case "generalize":
+		g, err := suite.Generalize(12)
+		if err != nil {
+			fatal(err)
+		}
+		g.Render(os.Stdout)
+	case "robustness":
+		r, err := exp.Robustness(opts, []int64{11, 22, 33, 44, 55})
+		if err != nil {
+			fatal(err)
+		}
+		r.Render(os.Stdout)
+	case "all":
+		run1(suite)
+		run2(suite, *bench)
+		run3(suite)
+		loo := train(suite)
+		run67(suite, loo, true, true)
+		run8(suite, loo)
+		runExtensions(suite)
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q", cmd))
+	}
+}
+
+func train(s *exp.Suite) *exp.LOOModels {
+	fmt.Fprintln(os.Stderr, "training leave-one-out ANN ensembles...")
+	loo, err := s.TrainLeaveOneOut()
+	if err != nil {
+		fatal(err)
+	}
+	return loo
+}
+
+func run1(s *exp.Suite) {
+	r, err := s.Fig1ExecutionTimes()
+	if err != nil {
+		fatal(err)
+	}
+	r.Render(os.Stdout)
+}
+
+func run2(s *exp.Suite, bench string) {
+	r, err := s.Fig2PhaseIPC(bench)
+	if err != nil {
+		fatal(err)
+	}
+	r.Render(os.Stdout)
+}
+
+func run3(s *exp.Suite) {
+	r, err := s.Fig3PowerEnergy()
+	if err != nil {
+		fatal(err)
+	}
+	r.Render(os.Stdout)
+}
+
+func run67(s *exp.Suite, loo *exp.LOOModels, show6, show7 bool) {
+	f6, f7, err := s.EvalPrediction(loo)
+	if err != nil {
+		fatal(err)
+	}
+	if show6 {
+		f6.Render(os.Stdout)
+	}
+	if show7 {
+		f7.Render(os.Stdout)
+	}
+}
+
+func run8(s *exp.Suite, loo *exp.LOOModels) {
+	r, err := s.Fig8Throttling(loo)
+	if err != nil {
+		fatal(err)
+	}
+	r.Render(os.Stdout)
+}
+
+func runExtensions(s *exp.Suite) {
+	dv, err := s.DVFSStudy()
+	if err != nil {
+		fatal(err)
+	}
+	dv.Render(os.Stdout)
+	fs, err := s.FutureScaling()
+	if err != nil {
+		fatal(err)
+	}
+	fs.Render(os.Stdout)
+	cs, err := s.CoScheduling()
+	if err != nil {
+		fatal(err)
+	}
+	cs.Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actorsim:", err)
+	os.Exit(1)
+}

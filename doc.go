@@ -1,0 +1,13 @@
+// Package actor is the root of the ACTOR reproduction: an Adaptive
+// Concurrency Throttling Optimization Runtime with ANN-based IPC
+// prediction, after Curtis-Maury et al., "Identifying Energy-Efficient
+// Concurrency Levels Using Machine Learning" (GreenCom 2007).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory), the runnable entry points under cmd/ and examples/, and the
+// per-figure benchmark harness in bench_test.go. Run
+//
+//	go run ./cmd/actorsim all
+//
+// to regenerate every figure of the paper's evaluation.
+package actor

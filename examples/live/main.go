@@ -1,0 +1,56 @@
+// Live: ACTOR's instrumentation API on real Go computation. Each NPB-style
+// mini-kernel runs timesteps on the omp worker team; a LiveTuner wraps
+// every timestep in Begin/End, probes each candidate thread count, and
+// locks the kernel to the fastest — live concurrency throttling with
+// wall-clock throughput as the fitness signal.
+//
+// (Go exposes no portable hardware counters, so the live path uses the
+// empirical-search policy from the authors' prior work [17] instead of
+// counter-driven ANN prediction; the full counter+ANN pipeline runs on the
+// simulated platform — see examples/quickstart.)
+//
+//	go run ./examples/live
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/kernels"
+	"github.com/greenhpc/actor/internal/omp"
+)
+
+func main() {
+	maxThreads := runtime.NumCPU()
+	if maxThreads > 8 {
+		maxThreads = 8 // diminishing returns for the demo
+	}
+	fmt.Printf("machine has %d CPUs; probing 1..%d threads\n\n", runtime.NumCPU(), maxThreads)
+
+	const timesteps = 24
+	for _, k := range kernels.All(2) {
+		team := omp.NewTeam(maxThreads, false)
+		tuner, err := core.NewLiveTuner(core.DefaultCandidates(maxThreads), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for it := 0; it < timesteps; it++ {
+			threads := tuner.Begin()
+			team.SetThreads(threads)
+			k.Step(team)
+			tuner.End()
+		}
+		elapsed := time.Since(start)
+
+		fmt.Printf("%-6s locked to %d threads after %2d probes; %d timesteps in %7.1f ms (checksum %.4g)\n",
+			k.Name(), tuner.Choice(), len(core.DefaultCandidates(maxThreads))*2,
+			timesteps, float64(elapsed.Microseconds())/1000, k.Checksum())
+	}
+
+	fmt.Println("\nthroughput-bound kernels typically settle below the maximum thread")
+	fmt.Println("count — the live analogue of the paper's concurrency throttling.")
+}

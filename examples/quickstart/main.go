@@ -1,0 +1,84 @@
+// Quickstart: build the simulated quad-core Xeon platform, train a small
+// ANN predictor bank on part of the NPB suite, and run a benchmark the
+// models never saw under ACTOR's prediction-based concurrency throttling,
+// comparing against the default run-on-all-cores strategy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/dataset"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/power"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+func main() {
+	// 1. The platform: a quad-core Xeon QX6600 model, in pristine (oracle)
+	//    and noisy (measurement) flavours, plus the wall-power model.
+	truth, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisy := truth.WithNoise(noise.New(42).Fork("machine"), 0.02, 0.08)
+	env := core.NewEnv(noisy, truth, power.Default())
+
+	// 2. Offline training: collect counter samples from a few training
+	//    applications and fit ANN ensembles predicting IPC per target
+	//    configuration.
+	collector := dataset.NewCollector(noisy, truth)
+	collector.Repetitions = 3
+	var samples []dataset.PhaseSample
+	for _, name := range []string{"BT", "CG", "LU", "SP"} {
+		b, err := npb.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ss, err := collector.CollectBenchmark(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		samples = append(samples, ss...)
+	}
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 150
+	bank, err := core.TrainANNBank(samples, []int{12, 2}, []string{"1", "2a", "2b", "3"}, 5, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Online adaptation: run MG — which the models never saw — under
+	//    the default 4-core strategy and under ACTOR prediction.
+	mg, err := npb.ByName("MG")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := (&core.Static{Config: "4"}).Run(mg, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adapted, err := (&core.Prediction{Bank: bank}).Run(mg, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MG on all 4 cores:  %6.2f s  %6.1f W  %8.0f J  ED2 %.0f\n",
+		base.TimeSec, base.AvgPowerW, base.EnergyJ, base.ED2)
+	fmt.Printf("MG under ACTOR:     %6.2f s  %6.1f W  %8.0f J  ED2 %.0f\n",
+		adapted.TimeSec, adapted.AvgPowerW, adapted.EnergyJ, adapted.ED2)
+	fmt.Printf("time saved: %.1f%%   energy saved: %.1f%%   ED2 saved: %.1f%%\n",
+		100*(1-adapted.TimeSec/base.TimeSec),
+		100*(1-adapted.EnergyJ/base.EnergyJ),
+		100*(1-adapted.ED2/base.ED2))
+	fmt.Println("per-phase configurations chosen:")
+	for phase, cfgName := range adapted.PhaseConfigs {
+		fmt.Printf("  %-10s → %s\n", phase, cfgName)
+	}
+}

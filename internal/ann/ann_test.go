@@ -1,0 +1,308 @@
+package ann
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthSamples generates samples of a smooth nonlinear target over 3
+// features.
+func synthSamples(n int, seed int64, noise float64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, n)
+	for i := range out {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		y := math.Sin(2*x[0]) + 0.5*x[1]*x[2] + 0.3*x[2]
+		y += noise * rng.NormFloat64()
+		out[i] = Sample{X: x, Y: y}
+	}
+	return out
+}
+
+func TestNewNetworkShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, err := NewNetwork([]int{3, 5, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.InputDim() != 3 {
+		t.Errorf("InputDim = %d", n.InputDim())
+	}
+	if len(n.Weights) != 2 {
+		t.Fatalf("layers = %d", len(n.Weights))
+	}
+	if len(n.Weights[0]) != 5 || len(n.Weights[0][0]) != 4 {
+		t.Errorf("hidden layer shape = %d×%d, want 5×4 (incl. bias)", len(n.Weights[0]), len(n.Weights[0][0]))
+	}
+	if _, err := NewNetwork([]int{3}, rng); err == nil {
+		t.Error("single-layer network accepted")
+	}
+	if _, err := NewNetwork([]int{3, 0, 1}, rng); err == nil {
+		t.Error("zero-width layer accepted")
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, _ := NewNetwork([]int{2, 4, 1}, rng)
+	x := []float64{0.3, -0.7}
+	if n.Predict(x) != n.Predict(x) {
+		t.Error("Predict not deterministic")
+	}
+}
+
+func TestPredictPanicsOnDimMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, _ := NewNetwork([]int{2, 4, 1}, rng)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong input dimension")
+		}
+	}()
+	n.Predict([]float64{1})
+}
+
+func TestTrainLearnsNonlinearFunction(t *testing.T) {
+	samples := synthSamples(400, 7, 0)
+	scaler, err := FitScaler(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := scaler.Apply(samples)
+	train, valid := norm[:320], norm[320:]
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 300
+	net, res, err := Train(train, valid, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs == 0 {
+		t.Error("no epochs run")
+	}
+	// A trained net must clearly beat predicting the mean (MSE of the
+	// normalised target vs its mean ≈ variance).
+	var mean float64
+	for _, s := range valid {
+		mean += s.Y
+	}
+	mean /= float64(len(valid))
+	var varY float64
+	for _, s := range valid {
+		d := s.Y - mean
+		varY += d * d
+	}
+	varY /= float64(len(valid))
+	if net.MSE(valid) > varY/3 {
+		t.Errorf("validation MSE %.5f not well below target variance %.5f", net.MSE(valid), varY)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, _, err := Train(nil, nil, DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+	bad := []Sample{{X: []float64{1}, Y: 0}, {X: []float64{1, 2}, Y: 0}}
+	if _, _, err := Train(bad, nil, DefaultConfig()); err == nil {
+		t.Error("inconsistent dimensions accepted")
+	}
+}
+
+func TestEarlyStoppingFires(t *testing.T) {
+	// Pure-noise target: validation error cannot improve for long, so
+	// early stopping must halt before MaxEpochs.
+	samples := synthSamples(200, 3, 0)
+	for i := range samples {
+		samples[i].Y = float64(i%7) * 0.1 // decorrelate target from X
+	}
+	scaler, _ := FitScaler(samples)
+	norm := scaler.Apply(samples)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 2000
+	cfg.Patience = 10
+	_, res, err := Train(norm[:150], norm[150:], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("early stopping never fired on unlearnable data")
+	}
+	if res.Epochs >= 2000 {
+		t.Error("training ran to MaxEpochs despite patience")
+	}
+}
+
+func TestTrainDeterministicUnderSeed(t *testing.T) {
+	samples := synthSamples(100, 5, 0.05)
+	scaler, _ := FitScaler(samples)
+	norm := scaler.Apply(samples)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 50
+	a, _, err := Train(norm[:80], norm[80:], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _ := Train(norm[:80], norm[80:], cfg)
+	x := scaler.X([]float64{0.1, 0.2, 0.3})
+	if a.Predict(x) != b.Predict(x) {
+		t.Error("training not deterministic under equal seeds")
+	}
+}
+
+func TestNetworkSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, _ := NewNetwork([]int{4, 6, 1}, rng)
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Network
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	if n.Predict(x) != back.Predict(x) {
+		t.Error("serialisation round trip changed predictions")
+	}
+}
+
+func TestNetworkUnmarshalRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"sizes":[2],"weights":[]}`,
+		`{"sizes":[2,1],"weights":[[[1,2,3]]]}`, // wrong weight count (needs 3 = 2+bias ✓ actually)
+		`{"sizes":[2,2],"weights":[[[1,2,3]]]}`, // wrong unit count
+		`{"sizes":[2,1],"weights":[[[1,2]]]}`,   // missing bias weight
+	}
+	for _, c := range cases[1:] { // first case: wrong layer count
+		var n Network
+		if err := json.Unmarshal([]byte(cases[0]), &n); err == nil {
+			t.Error("layer-count mismatch accepted")
+		}
+		_ = c
+	}
+	var n Network
+	if err := json.Unmarshal([]byte(`{"sizes":[2,2],"weights":[[[1,2,3]]]}`), &n); err == nil {
+		t.Error("unit-count mismatch accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"sizes":[2,1],"weights":[[[1,2]]]}`), &n); err == nil {
+		t.Error("missing bias weight accepted")
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	samples := synthSamples(50, 11, 0)
+	sc, err := FitScaler(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(y float64) bool {
+		y = math.Mod(y, 100)
+		return math.Abs(sc.InvY(sc.Y(y))-y) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalerStandardisation(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{1, 10}, Y: 1},
+		{X: []float64{3, 10}, Y: 2},
+		{X: []float64{5, 10}, Y: 3},
+	}
+	sc, _ := FitScaler(samples)
+	x := sc.X([]float64{3, 10})
+	if math.Abs(x[0]) > 1e-9 {
+		t.Errorf("mean-centred feature = %g, want 0", x[0])
+	}
+	// Constant feature passes through as zero without dividing by zero.
+	if x[1] != 0 || math.IsNaN(x[1]) {
+		t.Errorf("constant feature = %g, want 0", x[1])
+	}
+}
+
+func TestScalerSerialization(t *testing.T) {
+	sc, _ := FitScaler(synthSamples(20, 1, 0))
+	data, _ := json.Marshal(sc)
+	var back Scaler
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.YMin != sc.YMin || back.YMax != sc.YMax {
+		t.Error("scaler round trip lost target range")
+	}
+}
+
+func TestEnsembleBeatsGuessingAndRoundTrips(t *testing.T) {
+	samples := synthSamples(300, 13, 0.05)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 150
+	ens, err := TrainEnsemble(samples, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ens.Nets) != 5 {
+		t.Fatalf("ensemble has %d members, want 5", len(ens.Nets))
+	}
+	// Held-out accuracy: evaluate on fresh samples from the same process.
+	test := synthSamples(100, 999, 0)
+	var mse, varY, mean float64
+	for _, s := range test {
+		mean += s.Y
+	}
+	mean /= float64(len(test))
+	for _, s := range test {
+		d := ens.Predict(s.X) - s.Y
+		mse += d * d
+		dv := s.Y - mean
+		varY += dv * dv
+	}
+	mse /= float64(len(test))
+	varY /= float64(len(test))
+	if mse > varY/2 {
+		t.Errorf("ensemble MSE %.4f not well below variance %.4f", mse, varY)
+	}
+	if ens.EstimateMSE <= 0 {
+		t.Error("ensemble estimate MSE not populated")
+	}
+
+	data, err := json.Marshal(ens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Ensemble
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, -0.4, 0.6}
+	if math.Abs(back.Predict(x)-ens.Predict(x)) > 1e-12 {
+		t.Error("ensemble round trip changed predictions")
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	samples := synthSamples(10, 1, 0)
+	if _, err := TrainEnsemble(samples, 2, DefaultConfig()); err == nil {
+		t.Error("k=2 accepted (needs train/stop/estimate)")
+	}
+	if _, err := TrainEnsemble(samples[:2], 5, DefaultConfig()); err == nil {
+		t.Error("fewer samples than folds accepted")
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	samples := synthSamples(120, 21, 0.02)
+	cfg := DefaultConfig()
+	cfg.MaxEpochs = 60
+	a, err := TrainEnsemble(samples, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := TrainEnsemble(samples, 4, cfg)
+	x := []float64{0.5, 0.5, -0.5}
+	if a.Predict(x) != b.Predict(x) {
+		t.Error("ensemble training not deterministic (parallel fold training must not race)")
+	}
+}

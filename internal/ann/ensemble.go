@@ -1,0 +1,134 @@
+package ann
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Ensemble is a k-fold cross-validation ensemble: k networks, each trained
+// on k−2 folds with one fold for early stopping and one held out to
+// estimate generalisation, predicting as the mean of all members (Section
+// IV-A: "we average their outputs for the final prediction").
+type Ensemble struct {
+	Nets   []*Network
+	Scaler *Scaler
+	// EstimateMSE is the mean of the members' held-out-fold errors, an
+	// unbiased estimate of ensemble-member generalisation error (in
+	// normalised target units).
+	EstimateMSE float64
+}
+
+// TrainEnsemble builds a k-fold ensemble from samples. Fold assignment is a
+// deterministic shuffle under cfg.Seed; member i uses fold i for early
+// stopping, fold (i+1) mod k for its generalisation estimate, and the rest
+// for training. Members train concurrently.
+func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
+	if k < 3 {
+		return nil, errors.New("ann: ensemble needs k ≥ 3 folds (train/stop/estimate)")
+	}
+	if len(samples) < k {
+		return nil, fmt.Errorf("ann: %d samples cannot fill %d folds", len(samples), k)
+	}
+	scaler, err := FitScaler(samples)
+	if err != nil {
+		return nil, err
+	}
+	norm := scaler.Apply(samples)
+
+	// Deterministic shuffled fold assignment.
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
+	idx := rng.Perm(len(norm))
+	folds := make([][]Sample, k)
+	for i, id := range idx {
+		f := i % k
+		folds[f] = append(folds[f], norm[id])
+	}
+
+	ens := &Ensemble{Nets: make([]*Network, k), Scaler: scaler}
+	estimates := make([]float64, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for member := 0; member < k; member++ {
+		wg.Add(1)
+		go func(member int) {
+			defer wg.Done()
+			stopFold := member
+			estFold := (member + 1) % k
+			var train []Sample
+			for f := range folds {
+				if f != stopFold && f != estFold {
+					train = append(train, folds[f]...)
+				}
+			}
+			mcfg := cfg
+			mcfg.Seed = cfg.Seed + int64(member)*7919
+			net, _, err := Train(train, folds[stopFold], mcfg)
+			if err != nil {
+				errs[member] = err
+				return
+			}
+			ens.Nets[member] = net
+			estimates[member] = net.MSE(folds[estFold])
+		}(member)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var sum float64
+	for _, e := range estimates {
+		sum += e
+	}
+	ens.EstimateMSE = sum / float64(k)
+	return ens, nil
+}
+
+// Predict returns the ensemble's prediction for a raw (unnormalised)
+// feature vector, in raw target units.
+func (e *Ensemble) Predict(x []float64) float64 {
+	nx := e.Scaler.X(x)
+	var sum float64
+	for _, n := range e.Nets {
+		sum += n.Predict(nx)
+	}
+	return e.Scaler.InvY(sum / float64(len(e.Nets)))
+}
+
+// InputDim returns the expected raw feature dimension.
+func (e *Ensemble) InputDim() int {
+	if len(e.Nets) == 0 {
+		return 0
+	}
+	return e.Nets[0].InputDim()
+}
+
+// MarshalJSON serialises the whole ensemble (networks + scaler).
+func (e *Ensemble) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Nets        []*Network `json:"nets"`
+		Scaler      *Scaler    `json:"scaler"`
+		EstimateMSE float64    `json:"estimate_mse"`
+	}{e.Nets, e.Scaler, e.EstimateMSE})
+}
+
+// UnmarshalJSON restores a serialised ensemble.
+func (e *Ensemble) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Nets        []*Network `json:"nets"`
+		Scaler      *Scaler    `json:"scaler"`
+		EstimateMSE float64    `json:"estimate_mse"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw.Nets) == 0 || raw.Scaler == nil {
+		return errors.New("ann: malformed serialised ensemble")
+	}
+	e.Nets, e.Scaler, e.EstimateMSE = raw.Nets, raw.Scaler, raw.EstimateMSE
+	return nil
+}

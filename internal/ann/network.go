@@ -1,0 +1,219 @@
+// Package ann implements the artificial neural networks at the heart of the
+// paper's predictor: fully connected feed-forward networks with sigmoid
+// hidden units trained by backpropagation with momentum, early stopping on a
+// validation set, and k-fold cross-validation ensembles whose averaged
+// output is the final prediction (the paper's Section IV-A methodology).
+//
+// The implementation is self-contained (stdlib only), deterministic under a
+// caller-provided seed, and trains fold models in parallel.
+package ann
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Network is a feed-forward neural network with sigmoid hidden layers and a
+// linear output unit, suited to scalar regression targets such as IPC.
+type Network struct {
+	// Sizes lists layer widths from input to output, e.g. [13, 16, 1].
+	Sizes []int
+	// Weights[l][j][i] is the weight from unit i of layer l to unit j of
+	// layer l+1; index i == Sizes[l] is unit j's bias.
+	Weights [][][]float64
+}
+
+// NewNetwork creates a network with the given layer sizes and small random
+// initial weights drawn from rng (uniform in ±1/sqrt(fanIn), the classic
+// backprop initialisation that keeps sigmoid units in their linear region).
+func NewNetwork(sizes []int, rng *rand.Rand) (*Network, error) {
+	if len(sizes) < 2 {
+		return nil, errors.New("ann: need at least input and output layers")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("ann: invalid layer size %d", s)
+		}
+	}
+	n := &Network{Sizes: append([]int(nil), sizes...)}
+	n.Weights = make([][][]float64, len(sizes)-1)
+	for l := 0; l < len(sizes)-1; l++ {
+		fanIn := sizes[l]
+		scale := 1 / math.Sqrt(float64(fanIn))
+		n.Weights[l] = make([][]float64, sizes[l+1])
+		for j := range n.Weights[l] {
+			w := make([]float64, fanIn+1) // +1 bias
+			for i := range w {
+				w[i] = rng.Float64()*2*scale - scale
+			}
+			n.Weights[l][j] = w
+		}
+	}
+	return n, nil
+}
+
+// sigmoid is the logistic activation used by all hidden units (Fig. 5 of
+// the paper).
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// Forward runs the network on input x and returns the scalar output along
+// with every layer's activations (needed by backprop). x must have length
+// Sizes[0].
+func (n *Network) forward(x []float64) (float64, [][]float64) {
+	acts := make([][]float64, len(n.Sizes))
+	acts[0] = x
+	for l := 0; l < len(n.Weights); l++ {
+		out := make([]float64, n.Sizes[l+1])
+		last := l == len(n.Weights)-1
+		for j, w := range n.Weights[l] {
+			sum := w[len(w)-1] // bias
+			in := acts[l]
+			for i, v := range in {
+				sum += w[i] * v
+			}
+			if last {
+				out[j] = sum // linear output unit
+			} else {
+				out[j] = sigmoid(sum)
+			}
+		}
+		acts[l+1] = out
+	}
+	return acts[len(acts)-1][0], acts
+}
+
+// Predict returns the network's output for input x. It panics if x has the
+// wrong dimension, which always indicates a programming error upstream.
+func (n *Network) Predict(x []float64) float64 {
+	if len(x) != n.Sizes[0] {
+		panic(fmt.Sprintf("ann: input dim %d, want %d", len(x), n.Sizes[0]))
+	}
+	y, _ := n.forward(x)
+	return y
+}
+
+// InputDim returns the expected input vector length.
+func (n *Network) InputDim() int { return n.Sizes[0] }
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	cp := &Network{Sizes: append([]int(nil), n.Sizes...)}
+	cp.Weights = make([][][]float64, len(n.Weights))
+	for l := range n.Weights {
+		cp.Weights[l] = make([][]float64, len(n.Weights[l]))
+		for j := range n.Weights[l] {
+			cp.Weights[l][j] = append([]float64(nil), n.Weights[l][j]...)
+		}
+	}
+	return cp
+}
+
+// backprop performs one stochastic gradient step on sample (x, y) with the
+// given learning rate, accumulating momentum into vel (same shape as
+// Weights). It returns the squared error before the update.
+func (n *Network) backprop(x []float64, y, lr, momentum float64, vel [][][]float64) float64 {
+	out, acts := n.forward(x)
+	errOut := out - y
+
+	// Deltas per layer (output layer is linear: delta = error).
+	deltas := make([][]float64, len(n.Weights))
+	deltas[len(deltas)-1] = []float64{errOut}
+	for l := len(n.Weights) - 2; l >= 0; l-- {
+		d := make([]float64, n.Sizes[l+1])
+		next := deltas[l+1]
+		for j := range d {
+			var sum float64
+			for k, w := range n.Weights[l+1] {
+				sum += w[j] * next[k]
+			}
+			a := acts[l+1][j]
+			d[j] = sum * a * (1 - a) // sigmoid derivative
+		}
+		deltas[l] = d
+	}
+
+	// Weight update with momentum: v ← μv − η∂E/∂w; w ← w + v
+	// (equation (1) of the paper plus the standard momentum term).
+	for l := range n.Weights {
+		in := acts[l]
+		for j, w := range n.Weights[l] {
+			d := deltas[l][j]
+			v := vel[l][j]
+			for i := range in {
+				v[i] = momentum*v[i] - lr*d*in[i]
+				w[i] += v[i]
+			}
+			bi := len(w) - 1
+			v[bi] = momentum*v[bi] - lr*d
+			w[bi] += v[bi]
+		}
+	}
+	return errOut * errOut
+}
+
+// zeroLike allocates a weight-shaped buffer of zeros.
+func (n *Network) zeroLike() [][][]float64 {
+	vel := make([][][]float64, len(n.Weights))
+	for l := range n.Weights {
+		vel[l] = make([][]float64, len(n.Weights[l]))
+		for j := range n.Weights[l] {
+			vel[l][j] = make([]float64, len(n.Weights[l][j]))
+		}
+	}
+	return vel
+}
+
+// MSE returns the mean squared error of the network over the samples.
+func (n *Network) MSE(set []Sample) float64 {
+	if len(set) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range set {
+		d := n.Predict(s.X) - s.Y
+		sum += d * d
+	}
+	return sum / float64(len(set))
+}
+
+// MarshalJSON/UnmarshalJSON give the network a stable serialised form used
+// by the offline trainer (cmd/actor-train) and loader (cmd/actor-predict).
+func (n *Network) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Sizes   []int         `json:"sizes"`
+		Weights [][][]float64 `json:"weights"`
+	}{n.Sizes, n.Weights})
+}
+
+// UnmarshalJSON restores a serialised network, validating shape consistency.
+func (n *Network) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Sizes   []int         `json:"sizes"`
+		Weights [][][]float64 `json:"weights"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw.Sizes) < 2 || len(raw.Weights) != len(raw.Sizes)-1 {
+		return errors.New("ann: malformed serialised network")
+	}
+	for l := range raw.Weights {
+		if len(raw.Weights[l]) != raw.Sizes[l+1] {
+			return fmt.Errorf("ann: layer %d has %d units, want %d", l, len(raw.Weights[l]), raw.Sizes[l+1])
+		}
+		for j := range raw.Weights[l] {
+			if len(raw.Weights[l][j]) != raw.Sizes[l]+1 {
+				return fmt.Errorf("ann: layer %d unit %d has %d weights, want %d",
+					l, j, len(raw.Weights[l][j]), raw.Sizes[l]+1)
+			}
+		}
+	}
+	n.Sizes = raw.Sizes
+	n.Weights = raw.Weights
+	return nil
+}

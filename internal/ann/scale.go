@@ -1,0 +1,122 @@
+package ann
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+)
+
+// Scaler standardises feature vectors and min-max-scales the target into a
+// comfortable range for network training, and inverts the target transform
+// at prediction time. Fitting happens on training data only; the same
+// transform is then applied to validation and live inputs.
+type Scaler struct {
+	Mean, Std  []float64 // per-feature standardisation
+	YMin, YMax float64   // target range observed in training data
+}
+
+// FitScaler computes feature means/standard deviations and the target range
+// from the samples. Constant features get Std 1 so they pass through as
+// zeros.
+func FitScaler(samples []Sample) (*Scaler, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("ann: cannot fit scaler on empty set")
+	}
+	d := len(samples[0].X)
+	sc := &Scaler{
+		Mean: make([]float64, d),
+		Std:  make([]float64, d),
+		YMin: math.Inf(1),
+		YMax: math.Inf(-1),
+	}
+	for _, s := range samples {
+		if len(s.X) != d {
+			return nil, errors.New("ann: inconsistent feature dimensions")
+		}
+		for i, v := range s.X {
+			sc.Mean[i] += v
+		}
+		if s.Y < sc.YMin {
+			sc.YMin = s.Y
+		}
+		if s.Y > sc.YMax {
+			sc.YMax = s.Y
+		}
+	}
+	n := float64(len(samples))
+	for i := range sc.Mean {
+		sc.Mean[i] /= n
+	}
+	for _, s := range samples {
+		for i, v := range s.X {
+			dv := v - sc.Mean[i]
+			sc.Std[i] += dv * dv
+		}
+	}
+	for i := range sc.Std {
+		sc.Std[i] = math.Sqrt(sc.Std[i] / n)
+		if sc.Std[i] < 1e-12 {
+			sc.Std[i] = 1
+		}
+	}
+	if sc.YMax-sc.YMin < 1e-12 {
+		sc.YMax = sc.YMin + 1
+	}
+	return sc, nil
+}
+
+// X standardises a feature vector.
+func (sc *Scaler) X(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - sc.Mean[i]) / sc.Std[i]
+	}
+	return out
+}
+
+// Y maps a raw target into [0.1, 0.9].
+func (sc *Scaler) Y(y float64) float64 {
+	return 0.1 + 0.8*(y-sc.YMin)/(sc.YMax-sc.YMin)
+}
+
+// InvY maps a network output back to the raw target scale.
+func (sc *Scaler) InvY(y float64) float64 {
+	return sc.YMin + (y-0.1)/0.8*(sc.YMax-sc.YMin)
+}
+
+// Apply transforms a whole sample set.
+func (sc *Scaler) Apply(samples []Sample) []Sample {
+	out := make([]Sample, len(samples))
+	for i, s := range samples {
+		out[i] = Sample{X: sc.X(s.X), Y: sc.Y(s.Y)}
+	}
+	return out
+}
+
+// MarshalJSON serialises the scaler alongside its ensemble.
+func (sc *Scaler) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Mean []float64 `json:"mean"`
+		Std  []float64 `json:"std"`
+		YMin float64   `json:"ymin"`
+		YMax float64   `json:"ymax"`
+	}{sc.Mean, sc.Std, sc.YMin, sc.YMax})
+}
+
+// UnmarshalJSON restores a serialised scaler.
+func (sc *Scaler) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Mean []float64 `json:"mean"`
+		Std  []float64 `json:"std"`
+		YMin float64   `json:"ymin"`
+		YMax float64   `json:"ymax"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw.Mean) != len(raw.Std) {
+		return errors.New("ann: malformed scaler")
+	}
+	sc.Mean, sc.Std, sc.YMin, sc.YMax = raw.Mean, raw.Std, raw.YMin, raw.YMax
+	return nil
+}

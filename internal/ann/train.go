@@ -1,0 +1,125 @@
+package ann
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Sample is one supervised training example: feature vector X and scalar
+// target Y (normalised IPC in ACTOR's use).
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// Config controls network construction and training.
+type Config struct {
+	// Hidden lists hidden-layer widths; the paper's three-layer topology
+	// corresponds to one entry (e.g. 16).
+	Hidden []int
+	// LearningRate is the backprop step size η.
+	LearningRate float64
+	// Momentum is the velocity retention μ.
+	Momentum float64
+	// MaxEpochs bounds training length.
+	MaxEpochs int
+	// Patience is the number of consecutive non-improving validation
+	// epochs tolerated before early stopping halts training (the paper's
+	// overfitting counter-measure [15]).
+	Patience int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the training configuration used throughout the
+// reproduction: one 16-unit hidden layer, η = 0.05, μ = 0.5, up to 400
+// epochs with patience 25.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:       []int{16},
+		LearningRate: 0.05,
+		Momentum:     0.5,
+		MaxEpochs:    400,
+		Patience:     25,
+		Seed:         1,
+	}
+}
+
+// TrainResult reports what happened during training.
+type TrainResult struct {
+	// Epochs is the number of epochs actually run.
+	Epochs int
+	// TrainMSE and ValidMSE are the final errors on the (normalised)
+	// training and validation sets.
+	TrainMSE, ValidMSE float64
+	// Stopped reports whether early stopping fired before MaxEpochs.
+	Stopped bool
+}
+
+// Train fits a network to train, early-stopping on valid. The returned
+// network is the snapshot with the best validation error seen (not the last
+// epoch's weights). Inputs must be pre-normalised; see Scaler.
+func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
+	if len(train) == 0 {
+		return nil, TrainResult{}, errors.New("ann: empty training set")
+	}
+	inDim := len(train[0].X)
+	for _, s := range append(append([]Sample(nil), train...), valid...) {
+		if len(s.X) != inDim {
+			return nil, TrainResult{}, errors.New("ann: inconsistent feature dimensions")
+		}
+	}
+	sizes := append([]int{inDim}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := NewNetwork(sizes, rng)
+	if err != nil {
+		return nil, TrainResult{}, err
+	}
+
+	vel := net.zeroLike()
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+
+	best := net.Clone()
+	bestValid := math.Inf(1)
+	bad := 0
+	res := TrainResult{}
+
+	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var sum float64
+		for _, idx := range order {
+			s := train[idx]
+			sum += net.backprop(s.X, s.Y, cfg.LearningRate, cfg.Momentum, vel)
+		}
+		res.Epochs = epoch + 1
+		res.TrainMSE = sum / float64(len(train))
+
+		if len(valid) == 0 {
+			continue
+		}
+		v := net.MSE(valid)
+		if v < bestValid-1e-12 {
+			bestValid = v
+			best = net.Clone()
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				res.Stopped = true
+				break
+			}
+		}
+	}
+	if len(valid) > 0 {
+		net = best
+		res.ValidMSE = bestValid
+	} else {
+		res.ValidMSE = res.TrainMSE
+	}
+	return net, res, nil
+}

@@ -1,0 +1,96 @@
+// Package bus models the front-side bus connecting the quad-core package to
+// memory: a single shared channel with a queueing-delay region at moderate
+// load and a hard sustained-bandwidth wall at saturation.
+//
+// The FSB is the second shared bottleneck in the paper's platform (after the
+// shared L2s): bandwidth-bound codes such as IS saturate it well before four
+// cores, which is why their performance *drops* as threads are added — in a
+// saturated regime execution time is proportional to total bytes moved, and
+// destructive L2 sharing multiplies the bytes.
+package bus
+
+import (
+	"errors"
+	"math"
+)
+
+// Model describes a shared memory bus.
+type Model struct {
+	// PeakBandwidth is the theoretical peak in bytes per second
+	// (1066 MT/s × 8 B ≈ 8.5 GB/s on the paper's platform).
+	PeakBandwidth float64
+	// SustainedFraction is the fraction of peak achievable by real access
+	// streams (command overhead, bank conflicts, read/write turnaround).
+	SustainedFraction float64
+	// QueueGain scales the queueing-delay term: the latency inflation at
+	// relative load ρ is 1 + QueueGain·ρ²/(1−ρ).
+	QueueGain float64
+	// RhoCap bounds the relative load used in the queueing term so the
+	// latency factor stays finite; beyond it the hard bandwidth wall (see
+	// MinTransferTime) governs, not latency.
+	RhoCap float64
+}
+
+// New returns a bus model with the given peak bandwidth and default
+// coefficients (70% sustained efficiency, moderate queueing).
+func New(peakBandwidth float64) (*Model, error) {
+	if peakBandwidth <= 0 {
+		return nil, errors.New("bus: non-positive bandwidth")
+	}
+	return &Model{
+		PeakBandwidth:     peakBandwidth,
+		SustainedFraction: 0.70,
+		QueueGain:         0.5,
+		RhoCap:            0.90,
+	}, nil
+}
+
+// SustainedBandwidth returns the deliverable bandwidth in bytes/sec.
+func (m *Model) SustainedBandwidth() float64 {
+	return m.PeakBandwidth * m.SustainedFraction
+}
+
+// RelativeLoad returns offered load as a fraction of sustained bandwidth,
+// clamped to [0, RhoCap].
+func (m *Model) RelativeLoad(offeredBytesPerSec float64) float64 {
+	if offeredBytesPerSec <= 0 {
+		return 0
+	}
+	rho := offeredBytesPerSec / m.SustainedBandwidth()
+	if rho > m.RhoCap {
+		rho = m.RhoCap
+	}
+	return rho
+}
+
+// LatencyFactor returns the multiplicative inflation of memory latency at
+// the given offered load: 1 at zero load, rising as 1 + g·ρ²/(1−ρ). The ρ
+// cap keeps it finite; saturation itself is modelled by MinTransferTime.
+func (m *Model) LatencyFactor(offeredBytesPerSec float64) float64 {
+	rho := m.RelativeLoad(offeredBytesPerSec)
+	if rho <= 0 {
+		return 1
+	}
+	return 1 + m.QueueGain*rho*rho/(1-rho)
+}
+
+// Utilization returns the delivered-bandwidth fraction of peak for an
+// offered load, for power modelling and the BUS_DRDY occupancy event:
+// min(offered, sustained)/peak.
+func (m *Model) Utilization(offeredBytesPerSec float64) float64 {
+	if offeredBytesPerSec <= 0 {
+		return 0
+	}
+	d := math.Min(offeredBytesPerSec, m.SustainedBandwidth())
+	return d / m.PeakBandwidth
+}
+
+// MinTransferTime returns the bandwidth wall: the minimum wall-clock time
+// to move totalBytes over the bus. Execution can never complete faster than
+// this, no matter how many cores are computing.
+func (m *Model) MinTransferTime(totalBytes float64) float64 {
+	if totalBytes <= 0 {
+		return 0
+	}
+	return totalBytes / m.SustainedBandwidth()
+}

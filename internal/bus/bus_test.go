@@ -1,0 +1,92 @@
+package bus
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadBandwidth(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("New(-1) accepted")
+	}
+}
+
+func TestLatencyFactorAtZeroLoad(t *testing.T) {
+	m, _ := New(8.5e9)
+	if got := m.LatencyFactor(0); got != 1 {
+		t.Errorf("LatencyFactor(0) = %g, want 1", got)
+	}
+	if got := m.LatencyFactor(-5); got != 1 {
+		t.Errorf("LatencyFactor(-5) = %g, want 1", got)
+	}
+}
+
+func TestLatencyFactorMonotone(t *testing.T) {
+	m, _ := New(8.5e9)
+	prev := 0.0
+	for load := 0.0; load <= 2*m.SustainedBandwidth(); load += m.SustainedBandwidth() / 20 {
+		f := m.LatencyFactor(load)
+		if f < prev-1e-12 {
+			t.Fatalf("latency factor decreased at load %g: %g → %g", load, prev, f)
+		}
+		if f < 1 {
+			t.Fatalf("latency factor below 1 at load %g: %g", load, f)
+		}
+		prev = f
+	}
+}
+
+func TestLatencyFactorFiniteAtSaturation(t *testing.T) {
+	m, _ := New(8.5e9)
+	f := m.LatencyFactor(100 * m.PeakBandwidth)
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		t.Fatalf("latency factor not finite at saturation: %g", f)
+	}
+	// With the default rho cap 0.9 and gain 0.5: 1 + 0.5·0.81/0.1 = 5.05.
+	if math.Abs(f-5.05) > 0.01 {
+		t.Errorf("saturated latency factor = %g, want ≈ 5.05", f)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	m, _ := New(8.5e9)
+	f := func(load float64) bool {
+		u := m.Utilization(math.Abs(load) * 1e10)
+		return u >= 0 && u <= m.SustainedFraction+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if u := m.Utilization(m.PeakBandwidth * 10); math.Abs(u-m.SustainedFraction) > 1e-12 {
+		t.Errorf("saturated utilization = %g, want %g", u, m.SustainedFraction)
+	}
+}
+
+func TestMinTransferTime(t *testing.T) {
+	m, _ := New(10e9) // sustained = 7 GB/s
+	if got := m.MinTransferTime(0); got != 0 {
+		t.Errorf("MinTransferTime(0) = %g", got)
+	}
+	want := 7e9 / m.SustainedBandwidth() // = 1 second of traffic
+	if got := m.MinTransferTime(7e9); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MinTransferTime(7e9) = %g, want %g", got, want)
+	}
+	// Doubling bytes doubles the wall.
+	if a, b := m.MinTransferTime(1e9), m.MinTransferTime(2e9); math.Abs(b-2*a) > 1e-15 {
+		t.Errorf("wall not linear in bytes: %g vs %g", a, b)
+	}
+}
+
+func TestRelativeLoadCap(t *testing.T) {
+	m, _ := New(8.5e9)
+	if rho := m.RelativeLoad(100 * m.PeakBandwidth); rho != m.RhoCap {
+		t.Errorf("relative load = %g, want cap %g", rho, m.RhoCap)
+	}
+	if rho := m.RelativeLoad(0); rho != 0 {
+		t.Errorf("relative load at zero = %g", rho)
+	}
+}

@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEffectiveShare(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	if got := m.EffectiveShare(1, 0); got != 4<<20 {
+		t.Errorf("solo share = %g, want full capacity", got)
+	}
+	if got := m.EffectiveShare(2, 0); math.Abs(got-2<<20) > 1 {
+		t.Errorf("2-way private share = %g, want half", got)
+	}
+	if got := m.EffectiveShare(2, 1); got != 4<<20 {
+		t.Errorf("fully shared share = %g, want full capacity", got)
+	}
+	// Clamping.
+	if got := m.EffectiveShare(0, -1); got != 4<<20 {
+		t.Errorf("clamped share = %g, want full capacity", got)
+	}
+}
+
+func TestMissRateBounds(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	f := func(wsKB uint32, nShare uint8, sharing, cold, locExp float64) bool {
+		ws := float64(wsKB%20000) * 1024
+		n := int(nShare%4) + 1
+		sh := math.Mod(math.Abs(sharing), 1)
+		cd := math.Mod(math.Abs(cold), 1)
+		le := math.Mod(math.Abs(locExp), 2) + 0.1
+		mr := m.MissRateShared(ws, n, sh, cd, le)
+		return mr >= 0 && mr <= 1 && mr >= cd-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRateMonotoneInShare(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	ws := 3.0 * 1024 * 1024
+	prev := 2.0
+	for _, share := range []float64{512 << 10, 1 << 20, 2 << 20, 3 << 20, 4 << 20, 8 << 20} {
+		mr := m.MissRate(ws, share, 0.05, 1)
+		if mr > prev+1e-12 {
+			t.Errorf("miss rate increased with larger share: %g → %g at %g", prev, mr, share)
+		}
+		prev = mr
+	}
+}
+
+func TestMissRateMonotoneInCoResidents(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	ws := 2.5 * 1024 * 1024
+	prev := -1.0
+	for n := 1; n <= 4; n++ {
+		mr := m.MissRateShared(ws, n, 0.1, 0.05, 1.2)
+		if mr < prev-1e-12 {
+			t.Errorf("miss rate decreased with more co-residents at n=%d: %g → %g", n, prev, mr)
+		}
+		prev = mr
+	}
+}
+
+func TestMissRateFitsVsSpills(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	fits := m.MissRate(1<<20, 4<<20, 0.05, 1)
+	spills := m.MissRate(12<<20, 4<<20, 0.05, 1)
+	if fits >= spills {
+		t.Errorf("fitting working set (%g) not below spilling one (%g)", fits, spills)
+	}
+	if spills < 0.5 {
+		t.Errorf("3× oversubscribed working set only misses %g", spills)
+	}
+}
+
+func TestMissRateDegenerate(t *testing.T) {
+	m := NewSharingModel(4 << 20)
+	if mr := m.MissRate(0, 4<<20, 0.07, 1); mr != 0.07 {
+		t.Errorf("zero working set miss = %g, want cold rate", mr)
+	}
+	if mr := m.MissRate(1<<20, 0, 0.07, 1); mr != 1 {
+		t.Errorf("zero share miss = %g, want 1", mr)
+	}
+}
+
+func TestNewSetAssocGeometry(t *testing.T) {
+	c, err := NewSetAssoc(64<<10, 8, 64)
+	if err != nil {
+		t.Fatalf("NewSetAssoc: %v", err)
+	}
+	sets, ways, line := c.Geometry()
+	if sets != 128 || ways != 8 || line != 64 {
+		t.Errorf("geometry = (%d, %d, %d), want (128, 8, 64)", sets, ways, line)
+	}
+	if c.CapacityBytes() != 64<<10 {
+		t.Errorf("capacity = %d", c.CapacityBytes())
+	}
+	for _, bad := range [][3]int{{0, 8, 64}, {100, 8, 64}, {64 << 10, 8, 48}, {63 << 10, 8, 64}} {
+		if _, err := NewSetAssoc(bad[0], bad[1], bad[2]); err == nil {
+			t.Errorf("NewSetAssoc%v accepted invalid geometry", bad)
+		}
+	}
+}
+
+func TestSetAssocHitsAfterFill(t *testing.T) {
+	c, _ := NewSetAssoc(8<<10, 2, 64)
+	// Touch 64 distinct lines (half the cache): all misses.
+	for i := 0; i < 64; i++ {
+		if c.Access(uint64(i * 64)) {
+			t.Fatalf("unexpected hit on first touch of line %d", i)
+		}
+	}
+	// Re-touch: all hits.
+	for i := 0; i < 64; i++ {
+		if !c.Access(uint64(i * 64)) {
+			t.Fatalf("unexpected miss on re-touch of line %d", i)
+		}
+	}
+	acc, miss, _ := c.Stats()
+	if acc != 128 || miss != 64 {
+		t.Errorf("stats = (%d, %d), want (128, 64)", acc, miss)
+	}
+}
+
+func TestSetAssocLRUEviction(t *testing.T) {
+	// 2-way cache with 2 sets: lines mapping to set 0 are multiples of 2.
+	c, _ := NewSetAssoc(256, 2, 64) // 2 sets × 2 ways × 64 B
+	a, b, d := uint64(0), uint64(2*64), uint64(4*64)
+	c.Access(a) // set 0
+	c.Access(b) // set 0 — cache now holds {a, b}
+	c.Access(a) // a is MRU
+	c.Access(d) // evicts LRU = b
+	if !c.Access(a) {
+		t.Error("a should still hit (was MRU)")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted (was LRU)")
+	}
+}
+
+func TestSetAssocWorkingSetSweepMatchesAnalyticShape(t *testing.T) {
+	// Replay cyclic working-set streams through the executable cache and
+	// check the analytic model's qualitative shape: near-zero misses while
+	// the set fits, high misses at 2× capacity (cyclic LRU thrashing).
+	capacity := 32 << 10
+	c, _ := NewSetAssoc(capacity, 8, 64)
+	run := func(wsBytes int) float64 {
+		c.Reset()
+		lines := wsBytes / 64
+		const rounds = 12
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i * 64))
+			}
+		}
+		// Ignore the cold first round.
+		acc, miss, _ := c.Stats()
+		cold := uint64(lines)
+		return float64(miss-min64(miss, cold)) / float64(acc-cold)
+	}
+	small := run(capacity / 2)
+	huge := run(capacity * 2)
+	if small > 0.02 {
+		t.Errorf("fitting stream misses %.3f, want ≈ 0", small)
+	}
+	if huge < 0.9 {
+		t.Errorf("2× capacity cyclic stream misses %.3f, want ≈ 1 (LRU thrash)", huge)
+	}
+	am := NewSharingModel(float64(capacity))
+	if amFit, amSpill := am.MissRate(float64(capacity/2), float64(capacity), 0, 1.0),
+		am.MissRate(float64(capacity*2), float64(capacity), 0, 1.0); amFit >= amSpill {
+		t.Errorf("analytic model shape inverted: fit %.3f ≥ spill %.3f", amFit, amSpill)
+	}
+}
+
+func TestSetAssocSharedStreamsInterfere(t *testing.T) {
+	capacity := 32 << 10
+	c, _ := NewSetAssoc(capacity, 8, 64)
+	// Two streams, each 60% of capacity: alone they nearly fit, together
+	// they thrash.
+	mkStream := func(base uint64, bytes int) []uint64 {
+		lines := bytes / 64
+		out := make([]uint64, 0, lines*6)
+		for r := 0; r < 6; r++ {
+			for i := 0; i < lines; i++ {
+				out = append(out, base+uint64(i*64))
+			}
+		}
+		return out
+	}
+	wsBytes := capacity * 6 / 10
+	alone := mkStream(0, wsBytes)
+	c.AccessStream(0, alone)
+	aloneMiss := c.MissRate()
+
+	c.Reset()
+	s1 := mkStream(0, wsBytes)
+	s2 := mkStream(1<<30, wsBytes)
+	// Interleave in chunks to mimic concurrent execution.
+	chunk := 64
+	for off := 0; off < len(s1); off += chunk {
+		end := off + chunk
+		if end > len(s1) {
+			end = len(s1)
+		}
+		c.AccessStream(1, s1[off:end])
+		c.AccessStream(2, s2[off:end])
+	}
+	sharedMiss := c.MissRate()
+	if sharedMiss <= aloneMiss {
+		t.Errorf("shared streams miss %.3f ≤ alone %.3f; expected destructive interference", sharedMiss, aloneMiss)
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/greenhpc/actor/internal/phasedetect"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// AutoController is ACTOR without manual instrumentation: it watches the
+// counter-rate stream of an *unannotated* running program, detects phase
+// boundaries online (internal/phasedetect), and drives the usual
+// sample-predict-lock cycle per detected phase. Published ACTOR requires
+// library calls around each parallel region; this extension removes that
+// requirement.
+//
+// Protocol per timestep: call Next for the placement to run, execute, then
+// feed the observed counts to Observe.
+type AutoController struct {
+	pred     Predictor
+	sample   topology.Placement
+	configs  []topology.Placement
+	width    int
+	detector *phasedetect.Detector
+
+	sampler *pmu.Sampler
+	locked  bool
+	choice  topology.Placement
+
+	// Placement-change tracking: a self-inflicted reconfiguration shifts
+	// the observed rates, which must not be mistaken for a program phase
+	// change; the detector is rebased after every switch.
+	lastIssued    topology.Placement
+	haveIssued    bool
+	pendingRebase bool
+
+	phases    int // total phases seen (incl. the first)
+	decisions int
+}
+
+// NewAutoController builds a controller that samples at sampleCfg, predicts
+// with pred over the configuration space, and detects phases with detCfg.
+func NewAutoController(pred Predictor, sampleCfg topology.Placement, configs []topology.Placement, counterWidth int, detCfg phasedetect.Config) (*AutoController, error) {
+	if pred == nil {
+		return nil, errors.New("core: auto controller needs a predictor")
+	}
+	if sampleCfg.Threads() == 0 || len(configs) == 0 {
+		return nil, errors.New("core: auto controller needs a configuration space")
+	}
+	det, err := phasedetect.New(detCfg)
+	if err != nil {
+		return nil, err
+	}
+	a := &AutoController{
+		pred:     pred,
+		sample:   sampleCfg,
+		configs:  configs,
+		width:    counterWidth,
+		detector: det,
+		phases:   1,
+	}
+	if err := a.startSampling(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *AutoController) startSampling() error {
+	file, err := pmu.NewCounterFile(a.width)
+	if err != nil {
+		return err
+	}
+	plan, err := pmu.PlanRotation(a.pred.Events(), a.width, 0)
+	if err != nil {
+		return err
+	}
+	a.sampler = pmu.NewSampler(file, plan)
+	a.locked = false
+	return nil
+}
+
+// Next returns the placement the upcoming timestep should run at: the
+// sampling configuration while the current phase is being profiled, the
+// locked choice afterwards.
+func (a *AutoController) Next() topology.Placement {
+	pl := a.sample
+	if a.locked {
+		pl = a.choice
+	}
+	if a.haveIssued && pl.Name != a.lastIssued.Name {
+		a.pendingRebase = true
+	}
+	a.lastIssued, a.haveIssued = pl, true
+	return pl
+}
+
+// Observe ingests the counts of the timestep that just ran. It feeds the
+// phase detector first: a detected boundary discards the current state and
+// restarts sampling for the new phase. Otherwise sampling advances and, on
+// rotation completion, the phase is locked to the best predicted
+// configuration.
+func (a *AutoController) Observe(counts pmu.Counts) error {
+	rates := counts.Rates()
+	if rates == nil {
+		return errors.New("core: observation with zero cycles")
+	}
+	if a.pendingRebase {
+		a.detector.Rebase()
+		a.pendingRebase = false
+	}
+	if _, changed := a.detector.Observe(rates); changed {
+		a.phases++
+		return a.startSampling()
+	}
+	if a.locked {
+		return nil
+	}
+	if err := a.sampler.Observe(counts); err != nil {
+		return err
+	}
+	if !a.sampler.Done() {
+		return nil
+	}
+	return a.decide()
+}
+
+func (a *AutoController) decide() error {
+	rates := a.sampler.Rates()
+	preds, err := a.pred.PredictIPC(rates)
+	if err != nil {
+		return err
+	}
+	bestName := a.sample.Name
+	bestIPC := rates[pmu.Instructions]
+	for name, ipc := range preds {
+		if name == a.sample.Name {
+			continue
+		}
+		if ipc > bestIPC {
+			bestIPC, bestName = ipc, name
+		}
+	}
+	for _, cfg := range a.configs {
+		if cfg.Name == bestName {
+			a.choice = cfg
+			a.locked = true
+			a.decisions++
+			return nil
+		}
+	}
+	return errors.New("core: predictor proposed unknown config " + bestName)
+}
+
+// Locked reports whether the current phase has a locked configuration.
+func (a *AutoController) Locked() bool { return a.locked }
+
+// PhasesSeen returns how many phases the detector has identified so far.
+func (a *AutoController) PhasesSeen() int { return a.phases }
+
+// Decisions returns how many lock decisions have been made.
+func (a *AutoController) Decisions() int { return a.decisions }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/phasedetect"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+func TestAutoControllerValidation(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	pred := bank.Predictors()[0]
+	if _, err := NewAutoController(nil, env.SampleConfig, env.Configs, 2, phasedetect.DefaultConfig()); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := NewAutoController(pred, topology.Placement{}, env.Configs, 2, phasedetect.DefaultConfig()); err == nil {
+		t.Error("empty sample config accepted")
+	}
+	bad := phasedetect.DefaultConfig()
+	bad.Threshold = 0
+	if _, err := NewAutoController(pred, env.SampleConfig, env.Configs, 2, bad); err == nil {
+		t.Error("invalid detector config accepted")
+	}
+}
+
+// TestAutoControllerAdaptsUnannotatedStream drives the controller with an
+// unannotated stream alternating between a compute-bound and a
+// bandwidth-bound phase of real benchmarks, checking that it detects the
+// switches, re-samples, and locks per-phase configurations.
+func TestAutoControllerAdaptsUnannotatedStream(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	pred := bank.Predictors()[0]
+
+	ac, err := NewAutoController(pred, env.SampleConfig, env.Configs, 2, phasedetect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two very different workload phases, run back to back without any
+	// phase annotations: BT's dense solver then IS's streaming sort.
+	bt, _ := npb.ByName("BT")
+	is, _ := npb.ByName("IS")
+	run := func(benchName string, phaseIdx, steps int) {
+		var b = bt
+		if benchName == "IS" {
+			b = is
+		}
+		for i := 0; i < steps; i++ {
+			pl := ac.Next()
+			res := env.Machine.RunPhase(&b.Phases[phaseIdx], b.Idiosyncrasy, pl)
+			if err := ac.Observe(res.Counts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	run("BT", 1, 30) // x_solve: dense
+	if !ac.Locked() {
+		t.Fatal("controller never locked the first phase")
+	}
+	firstChoice := ac.Next().Name
+
+	run("IS", 0, 30) // rank_count: bandwidth-bound
+	if ac.PhasesSeen() < 2 {
+		t.Fatal("behaviour shift not detected as a phase change")
+	}
+	if !ac.Locked() {
+		t.Fatal("controller never locked the second phase")
+	}
+	secondChoice := ac.Next().Name
+	if secondChoice == "4" && firstChoice == secondChoice {
+		t.Errorf("no adaptation across radically different phases (both %q)", secondChoice)
+	}
+	// The bandwidth-bound phase must be throttled below full concurrency.
+	if secondChoice == "4" {
+		t.Errorf("streaming phase locked to all cores; expected throttling (got %q)", secondChoice)
+	}
+	if ac.Decisions() < 2 {
+		t.Errorf("decisions = %d, want ≥ 2", ac.Decisions())
+	}
+}
+
+func TestAutoControllerRejectsZeroCycleObservation(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	ac, err := NewAutoController(bank.Predictors()[0], env.SampleConfig, env.Configs, 2, phasedetect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ac.Observe(pmu.Counts{pmu.Instructions: 10}); err == nil {
+		t.Error("zero-cycle observation accepted")
+	}
+}

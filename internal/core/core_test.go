@@ -1,0 +1,303 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/dataset"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/power"
+	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+func newEnv(t *testing.T) *Env {
+	t.Helper()
+	truth, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := truth.WithNoise(noise.New(3), 0.01, 0.05)
+	return NewEnv(noisy, truth, power.Default())
+}
+
+func smallBench(t *testing.T) *workload.Benchmark {
+	t.Helper()
+	b, err := npb.ByName("CG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Iterations = 20 // keep strategy tests fast
+	return b
+}
+
+func TestEnvValidate(t *testing.T) {
+	env := newEnv(t)
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *env
+	bad.CounterWidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero counter width accepted")
+	}
+	bad = *env
+	bad.MaxSampleFraction = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sampling fraction accepted")
+	}
+	bad = *env
+	bad.Configs = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty config space accepted")
+	}
+}
+
+func TestStaticStrategy(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	res, err := (&Static{Config: "4"}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeSec <= 0 || res.EnergyJ <= 0 || res.ED2 <= 0 {
+		t.Errorf("non-positive accounting: %+v", res)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("static run migrated %d times", res.Migrations)
+	}
+	for phase, cfg := range res.PhaseConfigs {
+		if cfg != "4" {
+			t.Errorf("phase %s on %s, want 4", phase, cfg)
+		}
+	}
+	if _, err := (&Static{Config: "9z"}).Run(b, env); err == nil {
+		t.Error("unknown config accepted")
+	}
+	// ED2 consistency: E·T².
+	if got, want := res.ED2, res.EnergyJ*res.TimeSec*res.TimeSec; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("ED2 = %g, want %g", got, want)
+	}
+}
+
+func TestOracleRelations(t *testing.T) {
+	env := newEnv(t)
+	// Use the pristine machine for measurement too, so oracle relations
+	// hold exactly (no run-to-run noise).
+	env.Machine = env.Truth
+	b := smallBench(t)
+
+	static4, err := (&Static{Config: "4"}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := (OracleGlobal{}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase, err := (OraclePhase{}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if global.TimeSec > static4.TimeSec*1.0001 {
+		t.Errorf("global optimal (%.3fs) slower than static-4 (%.3fs)", global.TimeSec, static4.TimeSec)
+	}
+	// Phase optimal beats global optimal up to migration costs.
+	if phase.TimeSec > global.TimeSec*1.02 {
+		t.Errorf("phase optimal (%.3fs) clearly slower than global optimal (%.3fs)", phase.TimeSec, global.TimeSec)
+	}
+}
+
+func TestGlobalAndPhaseOptimal(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	best, times, err := GlobalOptimal(b, env.Truth, env.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != len(env.Configs) {
+		t.Errorf("times for %d configs, want %d", len(times), len(env.Configs))
+	}
+	for _, cfg := range env.Configs {
+		if times[best.Name] > times[cfg.Name] {
+			t.Errorf("global optimal %s (%.3f) beaten by %s (%.3f)",
+				best.Name, times[best.Name], cfg.Name, times[cfg.Name])
+		}
+	}
+	bests, err := PhaseOptimal(b, env.Truth, env.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bests) != len(b.Phases) {
+		t.Fatalf("per-phase bests = %d, want %d", len(bests), len(b.Phases))
+	}
+	for pi := range b.Phases {
+		tBest := env.Truth.RunPhase(&b.Phases[pi], b.Idiosyncrasy, bests[pi]).TimeSec
+		for _, cfg := range env.Configs {
+			if tBest > env.Truth.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg).TimeSec*1.0001 {
+				t.Errorf("phase %d: %s not optimal", pi, bests[pi].Name)
+			}
+		}
+	}
+}
+
+func TestRankConfigsByTime(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	ranking := RankConfigsByTime(&b.Phases[0], b.Idiosyncrasy, env.Truth, env.Configs)
+	if len(ranking) != len(env.Configs) {
+		t.Fatalf("ranking has %d entries", len(ranking))
+	}
+	prev := -1.0
+	for _, name := range ranking {
+		cfg, ok := topology.ConfigByName(name)
+		if !ok {
+			t.Fatalf("unknown config %q in ranking", name)
+		}
+		tt := env.Truth.RunPhase(&b.Phases[0], b.Idiosyncrasy, cfg).TimeSec
+		if tt < prev {
+			t.Error("ranking not sorted by time")
+		}
+		prev = tt
+	}
+}
+
+func TestSearchStrategy(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	res, err := (&Search{ProbesPerConfig: 1}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The search probes every config once per phase.
+	if want := len(b.Phases) * len(env.Configs); res.SampleRounds < want {
+		t.Errorf("search probed %d times, want ≥ %d", res.SampleRounds, want)
+	}
+	for phase, cfg := range res.PhaseConfigs {
+		if _, ok := topology.ConfigByName(cfg); !ok {
+			t.Errorf("phase %s locked to unknown config %q", phase, cfg)
+		}
+	}
+}
+
+// trainSmallBank builds a fast ANN bank from two benchmarks.
+func trainSmallBank(t *testing.T, env *Env) *Bank {
+	t.Helper()
+	collector := dataset.NewCollector(env.Machine, env.Truth)
+	collector.Repetitions = 2
+	var samples []dataset.PhaseSample
+	for _, name := range []string{"BT", "MG", "LU"} {
+		b, _ := npb.ByName(name)
+		ss, err := collector.CollectBenchmark(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, ss...)
+	}
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 60
+	cfg.Patience = 10
+	bank, err := TrainANNBank(samples, []int{12, 4}, []string{"1", "2a", "2b", "3"}, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bank
+}
+
+func TestBankSelect(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	if got := bank.Select(6, 2); len(got.Events()) != 12 {
+		t.Errorf("budget 6 selected %d events, want 12", len(got.Events()))
+	}
+	if got := bank.Select(2, 2); len(got.Events()) != 4 {
+		t.Errorf("budget 2 selected %d events, want 4", len(got.Events()))
+	}
+	// Nothing fits → smallest predictor.
+	if got := bank.Select(1, 2); len(got.Events()) != 4 {
+		t.Errorf("budget 1 selected %d events, want smallest (4)", len(got.Events()))
+	}
+}
+
+func TestPredictionStrategyRuns(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	b := smallBench(t) // CG was not in the training set: leave-one-out
+	res, err := (&Prediction{Bank: bank}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleRounds == 0 {
+		t.Error("prediction strategy never sampled")
+	}
+	budget := pmu.SamplingBudget(b.Iterations, env.MaxSampleFraction)
+	if res.SampleRounds > budget*len(b.Phases) {
+		t.Errorf("sampled %d rounds, budget %d per phase", res.SampleRounds, budget)
+	}
+	for phase, cfg := range res.PhaseConfigs {
+		if _, ok := topology.ConfigByName(cfg); !ok {
+			t.Errorf("phase %s locked to unknown config %q", phase, cfg)
+		}
+	}
+	// Against an easy baseline: adaptation must not be catastrophically
+	// worse than static-4 (sampling overhead is bounded by the budget).
+	static4, err := (&Static{Config: "4"}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimeSec > static4.TimeSec*1.5 {
+		t.Errorf("prediction run %.3fs vs static-4 %.3fs: overhead out of control",
+			res.TimeSec, static4.TimeSec)
+	}
+}
+
+func TestPredictionRequiresBank(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	if _, err := (&Prediction{}).Run(b, env); err == nil {
+		t.Error("prediction without bank accepted")
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	if _, err := NewANNPredictor(nil, nil); err == nil {
+		t.Error("empty ANN predictor accepted")
+	}
+	if _, err := NewMLRPredictor(nil, nil); err == nil {
+		t.Error("empty MLR predictor accepted")
+	}
+	if _, err := NewBank(); err == nil {
+		t.Error("empty bank accepted")
+	}
+}
+
+func TestMigrationAccounting(t *testing.T) {
+	env := newEnv(t)
+	env.Machine = env.Truth
+	b := smallBench(t)
+	// Force alternating placements by phase: odd phases on 2b, even on 4.
+	bests, _ := PhaseOptimal(b, env.Truth, env.Configs)
+	differ := false
+	for i := 1; i < len(bests); i++ {
+		if bests[i].Name != bests[i-1].Name {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Skip("phase optima coincide; no migration to observe")
+	}
+	res, err := (OraclePhase{}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations == 0 {
+		t.Error("no migrations recorded despite differing phase placements")
+	}
+	if res.MigrationTimeSec <= 0 {
+		t.Error("migration time not accounted")
+	}
+}

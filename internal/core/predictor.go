@@ -1,0 +1,207 @@
+// Package core implements ACTOR — the Adaptive Concurrency Throttling
+// Optimization Runtime that is the paper's primary contribution.
+//
+// ACTOR instruments iterative parallel programs at phase (parallel region)
+// granularity. For each phase it samples hardware performance counters for
+// a few timesteps at maximal concurrency — rotating event pairs through the
+// two-counter PMU, within a sampling budget of at most 20% of total
+// iterations — feeds the observed event rates to an offline-trained
+// predictor (an ANN ensemble, or the prior-work linear-regression baseline),
+// predicts aggregate IPC for every candidate thread count and placement,
+// and locks the phase to the best configuration for the rest of the run.
+//
+// The package provides the adaptation strategies evaluated in the paper's
+// Fig. 8 — static all-cores, oracle global, oracle per-phase, and
+// prediction-based — plus the online empirical-search baseline of the
+// authors' earlier work, and a live instrumentation API for real programs.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/dataset"
+	"github.com/greenhpc/actor/internal/mlr"
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+// Predictor estimates aggregate IPC on target configurations from event
+// rates observed at the sampling configuration — equation (2) of the paper.
+type Predictor interface {
+	// Events returns the programmable events the predictor's feature
+	// vector requires, in order.
+	Events() []pmu.Event
+	// PredictIPC maps observed rates to predicted IPC per target
+	// configuration name.
+	PredictIPC(rates pmu.Rates) (map[string]float64, error)
+}
+
+// ANNPredictor wraps one ann.Ensemble per target configuration, all sharing
+// a single feature event list.
+type ANNPredictor struct {
+	events  []pmu.Event
+	targets map[string]*ann.Ensemble
+}
+
+// NewANNPredictor builds a predictor from per-target ensembles. All
+// ensembles must expect len(events)+1 features.
+func NewANNPredictor(events []pmu.Event, targets map[string]*ann.Ensemble) (*ANNPredictor, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("core: predictor needs at least one target model")
+	}
+	want := len(events) + 1
+	for name, e := range targets {
+		if e.InputDim() != want {
+			return nil, fmt.Errorf("core: target %q model expects %d features, events imply %d",
+				name, e.InputDim(), want)
+		}
+	}
+	return &ANNPredictor{events: append([]pmu.Event(nil), events...), targets: targets}, nil
+}
+
+// Events returns the feature event list.
+func (p *ANNPredictor) Events() []pmu.Event { return append([]pmu.Event(nil), p.events...) }
+
+// PredictIPC evaluates every target ensemble on the rates.
+func (p *ANNPredictor) PredictIPC(rates pmu.Rates) (map[string]float64, error) {
+	x := rates.Vector(p.events)
+	out := make(map[string]float64, len(p.targets))
+	for name, e := range p.targets {
+		out[name] = e.Predict(x)
+	}
+	return out, nil
+}
+
+// MLRPredictor is the regression-baseline equivalent of ANNPredictor.
+type MLRPredictor struct {
+	events  []pmu.Event
+	targets map[string]*mlr.Model
+}
+
+// NewMLRPredictor builds a linear-regression predictor from per-target
+// models.
+func NewMLRPredictor(events []pmu.Event, targets map[string]*mlr.Model) (*MLRPredictor, error) {
+	if len(targets) == 0 {
+		return nil, errors.New("core: predictor needs at least one target model")
+	}
+	want := len(events) + 1
+	for name, m := range targets {
+		if m.InputDim() != want {
+			return nil, fmt.Errorf("core: target %q model expects %d features, events imply %d",
+				name, m.InputDim(), want)
+		}
+	}
+	return &MLRPredictor{events: append([]pmu.Event(nil), events...), targets: targets}, nil
+}
+
+// Events returns the feature event list.
+func (p *MLRPredictor) Events() []pmu.Event { return append([]pmu.Event(nil), p.events...) }
+
+// PredictIPC evaluates every target model on the rates.
+func (p *MLRPredictor) PredictIPC(rates pmu.Rates) (map[string]float64, error) {
+	x := rates.Vector(p.events)
+	out := make(map[string]float64, len(p.targets))
+	for name, m := range p.targets {
+		out[name] = m.Predict(x)
+	}
+	return out, nil
+}
+
+// Bank holds predictors for several feature-set sizes so the runtime can
+// fall back to a reduced event set when an application's iteration count
+// leaves too small a sampling budget (the paper's FT/IS/MG fallback).
+// Predictors are kept sorted by descending feature count.
+type Bank struct {
+	predictors []Predictor
+}
+
+// NewBank assembles a bank, ordering predictors by descending event count.
+func NewBank(preds ...Predictor) (*Bank, error) {
+	if len(preds) == 0 {
+		return nil, errors.New("core: empty predictor bank")
+	}
+	ps := append([]Predictor(nil), preds...)
+	sort.Slice(ps, func(i, j int) bool { return len(ps[i].Events()) > len(ps[j].Events()) })
+	return &Bank{predictors: ps}, nil
+}
+
+// Select returns the richest predictor whose event rotation fits within
+// maxRounds timesteps on a counter file of the given width, falling back to
+// the smallest predictor when none fit.
+func (b *Bank) Select(maxRounds, counterWidth int) Predictor {
+	for _, p := range b.predictors {
+		need := (len(p.Events()) + counterWidth - 1) / counterWidth
+		if need <= maxRounds {
+			return p
+		}
+	}
+	return b.predictors[len(b.predictors)-1]
+}
+
+// Predictors returns the bank contents (descending feature count).
+func (b *Bank) Predictors() []Predictor {
+	return append([]Predictor(nil), b.predictors...)
+}
+
+// TrainANNBank trains one ANN ensemble per (feature set, target config)
+// from the phase samples, returning a bank with one predictor per feature
+// set. eventCounts lists the feature-set sizes (e.g. 12, 4, 2); targets
+// lists target configuration names; folds is the cross-validation k.
+func TrainANNBank(samples []dataset.PhaseSample, eventCounts []int, targets []string, folds int, cfg ann.Config) (*Bank, error) {
+	var preds []Predictor
+	for _, ec := range eventCounts {
+		events := pmu.ReducedEventSet((ec + 1) / 2)
+		if len(events) > ec {
+			events = events[:ec]
+		}
+		models := make(map[string]*ann.Ensemble, len(targets))
+		for _, t := range targets {
+			ss, err := dataset.ToSamples(samples, events, t)
+			if err != nil {
+				return nil, err
+			}
+			ens, err := ann.TrainEnsemble(ss, folds, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("train ANN (events=%d, target=%s): %w", ec, t, err)
+			}
+			models[t] = ens
+		}
+		p, err := NewANNPredictor(events, models)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return NewBank(preds...)
+}
+
+// TrainMLRBank is the linear-regression counterpart of TrainANNBank.
+func TrainMLRBank(samples []dataset.PhaseSample, eventCounts []int, targets []string, ridge float64) (*Bank, error) {
+	var preds []Predictor
+	for _, ec := range eventCounts {
+		events := pmu.ReducedEventSet((ec + 1) / 2)
+		if len(events) > ec {
+			events = events[:ec]
+		}
+		models := make(map[string]*mlr.Model, len(targets))
+		for _, t := range targets {
+			ss, err := dataset.ToSamples(samples, events, t)
+			if err != nil {
+				return nil, err
+			}
+			m, err := mlr.Fit(ss, ridge)
+			if err != nil {
+				return nil, fmt.Errorf("train MLR (events=%d, target=%s): %w", ec, t, err)
+			}
+			models[t] = m
+		}
+		p, err := NewMLRPredictor(events, models)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	return NewBank(preds...)
+}

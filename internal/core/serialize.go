@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+// SavedPredictor is the on-disk form of an ANN predictor: the feature event
+// names plus one serialised ensemble per target configuration. It is what
+// cmd/actor-train writes and cmd/actor-predict loads.
+type SavedPredictor struct {
+	// Events are PAPI-style event mnemonics, in feature order.
+	Events []string `json:"events"`
+	// Targets maps configuration name → ensemble.
+	Targets map[string]*ann.Ensemble `json:"targets"`
+}
+
+// SaveANNPredictor converts a live predictor into its serialisable form.
+func SaveANNPredictor(p *ANNPredictor) *SavedPredictor {
+	sp := &SavedPredictor{Targets: p.targets}
+	for _, e := range p.events {
+		sp.Events = append(sp.Events, e.String())
+	}
+	return sp
+}
+
+// Load reconstructs the live predictor, resolving event names.
+func (sp *SavedPredictor) Load() (*ANNPredictor, error) {
+	events := make([]pmu.Event, 0, len(sp.Events))
+	for _, name := range sp.Events {
+		e, ok := pmu.EventByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown event %q in saved predictor", name)
+		}
+		events = append(events, e)
+	}
+	return NewANNPredictor(events, sp.Targets)
+}
+
+// MarshalPredictor serialises a live ANN predictor to JSON.
+func MarshalPredictor(p *ANNPredictor) ([]byte, error) {
+	return json.MarshalIndent(SaveANNPredictor(p), "", " ")
+}
+
+// UnmarshalPredictor loads a predictor from JSON produced by
+// MarshalPredictor.
+func UnmarshalPredictor(data []byte) (*ANNPredictor, error) {
+	var sp SavedPredictor
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, err
+	}
+	if len(sp.Targets) == 0 {
+		return nil, fmt.Errorf("core: saved predictor has no targets")
+	}
+	return sp.Load()
+}

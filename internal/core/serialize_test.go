@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+func TestPredictorSerializationRoundTrip(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	pred := bank.Predictors()[0].(*ANNPredictor)
+
+	data, err := MarshalPredictor(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalPredictor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events()) != len(pred.Events()) {
+		t.Fatalf("events %d, want %d", len(back.Events()), len(pred.Events()))
+	}
+	// Identical predictions on a realistic rate vector.
+	rates := pmu.Rates{pmu.Instructions: 1.1}
+	for _, e := range pred.Events() {
+		rates[e] = 0.01
+	}
+	a, err := pred.PredictIPC(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.PredictIPC(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cfg, v := range a {
+		if b[cfg] != v {
+			t.Errorf("config %s: %g vs %g after round trip", cfg, v, b[cfg])
+		}
+	}
+}
+
+func TestUnmarshalPredictorRejectsMalformed(t *testing.T) {
+	if _, err := UnmarshalPredictor([]byte(`{`)); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := UnmarshalPredictor([]byte(`{"events":[],"targets":{}}`)); err == nil {
+		t.Error("empty predictor accepted")
+	}
+	if _, err := UnmarshalPredictor([]byte(`{"events":["NO_SUCH_EVENT"],"targets":{"1":{"nets":[{"sizes":[2,1],"weights":[[[0,0,0]]]}],"scaler":{"mean":[0],"std":[1],"ymin":0,"ymax":1}}}}`)); err == nil {
+		t.Error("unknown event name accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceEvent records one phase execution during a strategy run: which
+// iteration and phase ran where, for how long, at what power, and whether
+// the execution was part of the sampling period.
+type TraceEvent struct {
+	Iteration int
+	Phase     string
+	Config    string
+	TimeSec   float64
+	PowerW    float64
+	Sampling  bool
+	Migration bool
+	// MigrationSec is the cache-refill cost charged before this execution
+	// (zero unless Migration).
+	MigrationSec float64
+}
+
+// Tracer receives every TraceEvent of a run. Implementations must be fast;
+// the engine calls them on the hot path.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// RecordingTracer retains all events in memory and computes summaries.
+type RecordingTracer struct {
+	Events []TraceEvent
+}
+
+// Event implements Tracer.
+func (r *RecordingTracer) Event(e TraceEvent) { r.Events = append(r.Events, e) }
+
+// TimeByConfig returns total execution time per configuration name.
+func (r *RecordingTracer) TimeByConfig() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Events {
+		out[e.Config] += e.TimeSec
+	}
+	return out
+}
+
+// SamplingTime returns the total time spent in sampling executions.
+func (r *RecordingTracer) SamplingTime() float64 {
+	var t float64
+	for _, e := range r.Events {
+		if e.Sampling {
+			t += e.TimeSec
+		}
+	}
+	return t
+}
+
+// MigrationTime returns the total cache-refill time charged.
+func (r *RecordingTracer) MigrationTime() float64 {
+	var t float64
+	for _, e := range r.Events {
+		t += e.MigrationSec
+	}
+	return t
+}
+
+// Summarize writes a human-readable overhead breakdown.
+func (r *RecordingTracer) Summarize(w io.Writer) {
+	var total float64
+	for _, e := range r.Events {
+		total += e.TimeSec + e.MigrationSec
+	}
+	fmt.Fprintf(w, "trace: %d events, %.3f s total\n", len(r.Events), total)
+	if total <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "  sampling overhead: %.3f s (%.1f%%)\n",
+		r.SamplingTime(), 100*r.SamplingTime()/total)
+	fmt.Fprintf(w, "  migration overhead: %.3f s (%.1f%%)\n",
+		r.MigrationTime(), 100*r.MigrationTime()/total)
+	tbc := r.TimeByConfig()
+	names := make([]string, 0, len(tbc))
+	for n := range tbc {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  config %-4s %.3f s (%.1f%%)\n", n, tbc[n], 100*tbc[n]/total)
+	}
+}
+
+// CSVTracer streams events as CSV rows (header written lazily). Useful for
+// offline analysis of adaptation behaviour.
+type CSVTracer struct {
+	W      io.Writer
+	wrote  bool
+	failed error
+}
+
+// Event implements Tracer.
+func (c *CSVTracer) Event(e TraceEvent) {
+	if c.failed != nil {
+		return
+	}
+	if !c.wrote {
+		if _, err := fmt.Fprintln(c.W, "iteration,phase,config,time_sec,power_w,sampling,migration,migration_sec"); err != nil {
+			c.failed = err
+			return
+		}
+		c.wrote = true
+	}
+	_, c.failed = fmt.Fprintf(c.W, "%d,%s,%s,%.9g,%.6g,%t,%t,%.9g\n",
+		e.Iteration, e.Phase, e.Config, e.TimeSec, e.PowerW, e.Sampling, e.Migration, e.MigrationSec)
+}
+
+// Err returns the first write error, if any.
+func (c *CSVTracer) Err() error { return c.failed }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordingTracerOnPredictionRun(t *testing.T) {
+	env := newEnv(t)
+	bank := trainSmallBank(t, env)
+	b := smallBench(t)
+	rec := &RecordingTracer{}
+	env.Tracer = rec
+
+	res, err := (&Prediction{Bank: bank}).Run(b, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := b.Iterations * len(b.Phases); len(rec.Events) != want {
+		t.Fatalf("recorded %d events, want %d", len(rec.Events), want)
+	}
+	// Sampling time must be positive and bounded by the budget's share.
+	if rec.SamplingTime() <= 0 {
+		t.Error("no sampling time recorded for a prediction run")
+	}
+	var total float64
+	for _, e := range rec.Events {
+		total += e.TimeSec
+		if e.Phase == "" || e.Config == "" {
+			t.Fatalf("incomplete event: %+v", e)
+		}
+		if e.PowerW <= 0 {
+			t.Fatalf("non-positive power in event: %+v", e)
+		}
+	}
+	// Events' total time + migration time equals the accounted run time.
+	if diff := res.TimeSec - (total + rec.MigrationTime()); diff > 1e-9*res.TimeSec || diff < -1e-9*res.TimeSec {
+		t.Errorf("trace total %.6f + migrations %.6f != run time %.6f",
+			total, rec.MigrationTime(), res.TimeSec)
+	}
+	// Sampling events run at the sampling configuration.
+	for _, e := range rec.Events {
+		if e.Sampling && e.Config != env.SampleConfig.Name {
+			t.Fatalf("sampling event at %q, want %q", e.Config, env.SampleConfig.Name)
+		}
+	}
+	// Migration accounting matches the run result.
+	if res.Migrations > 0 && rec.MigrationTime() <= 0 {
+		t.Error("run reports migrations but the trace has no migration time")
+	}
+
+	var sb strings.Builder
+	rec.Summarize(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "sampling overhead") || !strings.Contains(out, "config") {
+		t.Errorf("summary incomplete:\n%s", out)
+	}
+}
+
+func TestStaticRunHasNoSamplingEvents(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	rec := &RecordingTracer{}
+	env.Tracer = rec
+	if _, err := (&Static{Config: "2b"}).Run(b, env); err != nil {
+		t.Fatal(err)
+	}
+	if rec.SamplingTime() != 0 {
+		t.Error("static run recorded sampling time")
+	}
+	tbc := rec.TimeByConfig()
+	if len(tbc) != 1 || tbc["2b"] <= 0 {
+		t.Errorf("TimeByConfig = %v", tbc)
+	}
+}
+
+func TestCSVTracer(t *testing.T) {
+	env := newEnv(t)
+	b := smallBench(t)
+	var sb strings.Builder
+	csv := &CSVTracer{W: &sb}
+	env.Tracer = csv
+	if _, err := (&Static{Config: "4"}).Run(b, env); err != nil {
+		t.Fatal(err)
+	}
+	if csv.Err() != nil {
+		t.Fatal(csv.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "iteration,phase,config,time_sec,power_w,sampling,migration,migration_sec" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if want := b.Iterations*len(b.Phases) + 1; len(lines) != want {
+		t.Errorf("%d CSV lines, want %d", len(lines), want)
+	}
+	if !strings.Contains(lines[1], ",4,") {
+		t.Errorf("first row lacks config: %q", lines[1])
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestCSVTracerPropagatesWriteError(t *testing.T) {
+	csv := &CSVTracer{W: failingWriter{}}
+	csv.Event(TraceEvent{})
+	if csv.Err() == nil {
+		t.Error("write error swallowed")
+	}
+	// Further events are no-ops, not panics.
+	csv.Event(TraceEvent{})
+}

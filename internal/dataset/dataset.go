@@ -1,0 +1,182 @@
+// Package dataset builds the supervised training data for ACTOR's
+// predictors: it executes benchmark phases on the (noisy) machine model at
+// the sampling configuration, collects hardware event rates through the
+// PMU's rotating two-counter window, and pairs the resulting feature
+// vectors with measured IPC at every target configuration.
+//
+// It also provides the leave-one-out splits used in the paper's evaluation
+// ("we use each benchmark for evaluation by training as many models as
+// there are applications, each time leaving one particular application out
+// of the training process").
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// PhaseSample is the collected data for one phase observation: the feature
+// vector seen at the sampling configuration plus the measured and
+// ground-truth IPC at every configuration.
+type PhaseSample struct {
+	// Bench and Phase identify the source parallel region.
+	Bench, Phase string
+	// Rates are the averaged per-cycle event rates observed at the
+	// sampling configuration (Rates[pmu.Instructions] is sampled IPC).
+	Rates pmu.Rates
+	// MeasuredIPC maps configuration name → noisy measured aggregate IPC
+	// (what a training run would record).
+	MeasuredIPC map[string]float64
+	// TrueIPC maps configuration name → noiseless model IPC (used only
+	// for oracle construction and error scoring, never for training).
+	TrueIPC map[string]float64
+}
+
+// Features flattens the sample's rates into the model input vector
+// [sampled IPC, event rates...] for the given event list.
+func (s *PhaseSample) Features(events []pmu.Event) []float64 {
+	return s.Rates.Vector(events)
+}
+
+// Collector gathers PhaseSamples from benchmarks on a machine pair: a noisy
+// machine for realistic measurements and a pristine one for ground truth.
+type Collector struct {
+	// Noisy is the measurement machine (see machine.WithNoise).
+	Noisy *machine.Machine
+	// Truth is the noiseless machine used for oracle IPC.
+	Truth *machine.Machine
+	// SampleConfig is where counters are sampled: maximal concurrency
+	// (the paper samples at the highest thread count so predictions see
+	// the greatest possible interference).
+	SampleConfig topology.Placement
+	// Configs are all configurations needing IPC labels.
+	Configs []topology.Placement
+	// Events are the programmable events to rotate through.
+	Events []pmu.Event
+	// CounterWidth is the PMU's simultaneous counter limit (2 on the
+	// paper's platform).
+	CounterWidth int
+	// Repetitions is how many independent noisy observations to collect
+	// per phase (more repetitions expose the noise distribution to the
+	// model).
+	Repetitions int
+}
+
+// NewCollector returns a collector with the paper's defaults: sampling at
+// configuration 4, labels for all five configurations, the full
+// twelve-event set on a 2-wide counter file, and 6 repetitions per phase.
+func NewCollector(noisy, truth *machine.Machine) *Collector {
+	cfgs := topology.PaperConfigs()
+	return &Collector{
+		Noisy:        noisy,
+		Truth:        truth,
+		SampleConfig: cfgs[len(cfgs)-1],
+		Configs:      cfgs,
+		Events:       pmu.FullEventSet(),
+		CounterWidth: 2,
+		Repetitions:  6,
+	}
+}
+
+// CollectBenchmark produces Repetitions samples for every phase of the
+// benchmark. Each repetition drives a fresh PMU rotation across consecutive
+// (simulated) timesteps at the sampling configuration, then measures IPC at
+// every labelled configuration.
+func (c *Collector) CollectBenchmark(b *workload.Benchmark) ([]PhaseSample, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	var out []PhaseSample
+	for pi := range b.Phases {
+		p := &b.Phases[pi]
+		for rep := 0; rep < c.Repetitions; rep++ {
+			s, err := c.collectPhase(b, p)
+			if err != nil {
+				return nil, fmt.Errorf("collect %s/%s: %w", b.Name, p.Name, err)
+			}
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// collectPhase runs one full sampling rotation plus per-config measurement
+// for a single phase.
+func (c *Collector) collectPhase(b *workload.Benchmark, p *workload.PhaseProfile) (PhaseSample, error) {
+	file, err := pmu.NewCounterFile(c.CounterWidth)
+	if err != nil {
+		return PhaseSample{}, err
+	}
+	plan, err := pmu.PlanRotation(c.Events, c.CounterWidth, 0)
+	if err != nil {
+		return PhaseSample{}, err
+	}
+	sampler := pmu.NewSampler(file, plan)
+	for !sampler.Done() {
+		res := c.Noisy.RunPhase(p, b.Idiosyncrasy, c.SampleConfig)
+		if err := sampler.Observe(res.Counts); err != nil {
+			return PhaseSample{}, err
+		}
+	}
+	s := PhaseSample{
+		Bench:       b.Name,
+		Phase:       p.Name,
+		Rates:       sampler.Rates(),
+		MeasuredIPC: make(map[string]float64, len(c.Configs)),
+		TrueIPC:     make(map[string]float64, len(c.Configs)),
+	}
+	for _, cfg := range c.Configs {
+		s.MeasuredIPC[cfg.Name] = c.Noisy.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
+		s.TrueIPC[cfg.Name] = c.Truth.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
+	}
+	return s, nil
+}
+
+// CollectSuite collects samples for every benchmark, keyed by name.
+func (c *Collector) CollectSuite(benches []*workload.Benchmark) (map[string][]PhaseSample, error) {
+	out := make(map[string][]PhaseSample, len(benches))
+	for _, b := range benches {
+		ss, err := c.CollectBenchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		out[b.Name] = ss
+	}
+	return out, nil
+}
+
+// LeaveOneOut merges the samples of every benchmark except excluded — the
+// paper's evaluation protocol, guaranteeing the model never saw the target
+// application.
+func LeaveOneOut(suite map[string][]PhaseSample, excluded string) []PhaseSample {
+	var out []PhaseSample
+	for name, ss := range suite {
+		if name == excluded {
+			continue
+		}
+		out = append(out, ss...)
+	}
+	return out
+}
+
+// ToSamples converts phase samples into supervised examples for one target
+// configuration using the given event list as features: X = [sampled IPC,
+// rates...], Y = measured IPC on the target.
+func ToSamples(phaseSamples []PhaseSample, events []pmu.Event, targetConfig string) ([]ann.Sample, error) {
+	out := make([]ann.Sample, 0, len(phaseSamples))
+	for i := range phaseSamples {
+		ps := &phaseSamples[i]
+		y, ok := ps.MeasuredIPC[targetConfig]
+		if !ok {
+			return nil, fmt.Errorf("dataset: sample %s/%s has no label for config %q",
+				ps.Bench, ps.Phase, targetConfig)
+		}
+		out = append(out, ann.Sample{X: ps.Features(events), Y: y})
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+func newCollector(t *testing.T, reps int) *Collector {
+	t.Helper()
+	truth, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := truth.WithNoise(noise.New(1), 0.02, 0.05)
+	c := NewCollector(noisy, truth)
+	c.Repetitions = reps
+	return c
+}
+
+func TestCollectBenchmark(t *testing.T) {
+	c := newCollector(t, 3)
+	b, _ := npb.ByName("CG")
+	samples, err := c.CollectBenchmark(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(b.Phases) * 3; len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	for _, s := range samples {
+		if s.Bench != "CG" {
+			t.Errorf("sample bench = %q", s.Bench)
+		}
+		if s.Rates[pmu.Instructions] <= 0 {
+			t.Error("sample has no IPC")
+		}
+		for _, cfg := range c.Configs {
+			if s.MeasuredIPC[cfg.Name] <= 0 {
+				t.Errorf("missing measured IPC for %s", cfg.Name)
+			}
+			if s.TrueIPC[cfg.Name] <= 0 {
+				t.Errorf("missing true IPC for %s", cfg.Name)
+			}
+		}
+		// All twelve programmable events must be present after a full
+		// rotation.
+		for _, e := range pmu.FullEventSet() {
+			if _, ok := s.Rates[e]; !ok {
+				t.Errorf("event %v missing from rates", e)
+			}
+		}
+	}
+}
+
+func TestCollectRepetitionsDiffer(t *testing.T) {
+	c := newCollector(t, 2)
+	b, _ := npb.ByName("IS")
+	samples, err := c.CollectBenchmark(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two repetitions of the same phase must differ under measurement
+	// noise (otherwise repetitions add no information).
+	a, bb := samples[0], samples[1]
+	if a.Phase != bb.Phase {
+		t.Fatal("expected consecutive repetitions of one phase")
+	}
+	if a.Rates[pmu.Instructions] == bb.Rates[pmu.Instructions] {
+		t.Error("repetitions produced identical sampled IPC")
+	}
+	// Ground truth is noise-free and identical.
+	if a.TrueIPC["4"] != bb.TrueIPC["4"] {
+		t.Error("true IPC differs across repetitions")
+	}
+}
+
+func TestFeaturesVector(t *testing.T) {
+	c := newCollector(t, 1)
+	b, _ := npb.ByName("MG")
+	samples, _ := c.CollectBenchmark(b)
+	events := pmu.ReducedEventSet(2)
+	x := samples[0].Features(events)
+	if len(x) != len(events)+1 {
+		t.Fatalf("feature vector length %d, want %d", len(x), len(events)+1)
+	}
+	if x[0] != samples[0].Rates[pmu.Instructions] {
+		t.Error("feature[0] is not the sampled IPC")
+	}
+}
+
+func TestLeaveOneOut(t *testing.T) {
+	suite := map[string][]PhaseSample{
+		"A": {{Bench: "A"}, {Bench: "A"}},
+		"B": {{Bench: "B"}},
+		"C": {{Bench: "C"}},
+	}
+	loo := LeaveOneOut(suite, "B")
+	if len(loo) != 3 {
+		t.Fatalf("got %d samples, want 3", len(loo))
+	}
+	for _, s := range loo {
+		if s.Bench == "B" {
+			t.Error("excluded benchmark leaked into training data")
+		}
+	}
+}
+
+func TestToSamples(t *testing.T) {
+	ps := []PhaseSample{{
+		Bench: "A", Phase: "p",
+		Rates:       pmu.Rates{pmu.Instructions: 1.5, pmu.L2Misses: 0.01},
+		MeasuredIPC: map[string]float64{"2b": 2.5},
+	}}
+	events := []pmu.Event{pmu.L2Misses}
+	ss, err := ToSamples(ps, events, "2b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 1 || ss[0].Y != 2.5 || ss[0].X[0] != 1.5 || ss[0].X[1] != 0.01 {
+		t.Errorf("ToSamples = %+v", ss)
+	}
+	if _, err := ToSamples(ps, events, "zz"); err == nil {
+		t.Error("missing target config accepted")
+	}
+}
+
+func TestCollectSuite(t *testing.T) {
+	c := newCollector(t, 1)
+	benches := npb.All()[:2]
+	suite, err := c.CollectSuite(benches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 2 {
+		t.Fatalf("suite has %d entries", len(suite))
+	}
+	for _, b := range benches {
+		if len(suite[b.Name]) != len(b.Phases) {
+			t.Errorf("%s: %d samples, want %d", b.Name, len(suite[b.Name]), len(b.Phases))
+		}
+	}
+}

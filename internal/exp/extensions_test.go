@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDVFSStudy(t *testing.T) {
+	s := newFastSuite(t)
+	r, err := s.DVFSStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Order) != 8 {
+		t.Fatalf("study covered %d benchmarks", len(r.Order))
+	}
+	for _, b := range r.Order {
+		row := r.ED2[b]
+		if row["all-cores@nominal"] != 1 {
+			t.Errorf("%s: baseline not normalised to 1", b)
+		}
+		// Joint dominates both single knobs under the shared objective.
+		if row["joint"] > row["concurrency-only"]+1e-9 {
+			t.Errorf("%s: joint (%.3f) worse than concurrency-only (%.3f)", b, row["joint"], row["concurrency-only"])
+		}
+		if row["joint"] > row["dvfs-only"]+1e-9 {
+			t.Errorf("%s: joint (%.3f) worse than dvfs-only (%.3f)", b, row["joint"], row["dvfs-only"])
+		}
+	}
+	// For the bandwidth-bound codes, concurrency throttling should be the
+	// bigger single knob (the paper's central claim vs pure DVFS).
+	for _, b := range []string{"IS", "MG"} {
+		if r.ED2[b]["concurrency-only"] > r.ED2[b]["dvfs-only"] {
+			t.Errorf("%s: concurrency-only (%.3f) should beat dvfs-only (%.3f)",
+				b, r.ED2[b]["concurrency-only"], r.ED2[b]["dvfs-only"])
+		}
+	}
+	out := render(r.Render)
+	if !strings.Contains(out, "joint") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestFutureScaling(t *testing.T) {
+	s := newFastSuite(t)
+	r, err := s.FutureScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cores) != 4 {
+		t.Fatalf("scales = %v", r.Cores)
+	}
+	// The configuration space must grow with core count (the search-cost
+	// argument for prediction).
+	prev := 0
+	for _, c := range r.Cores {
+		if r.Placements[c] <= prev {
+			t.Errorf("placement count did not grow at %d cores: %d", c, r.Placements[c])
+		}
+		prev = r.Placements[c]
+	}
+	// The average throttling gain at 32 cores exceeds the 4-core gain —
+	// the paper's future-platforms prediction.
+	if r.AverageGain(32) <= r.AverageGain(4) {
+		t.Errorf("throttling gain did not grow with cores: %.3f at 4 vs %.3f at 32",
+			r.AverageGain(4), r.AverageGain(32))
+	}
+	for _, c := range r.Cores {
+		for b, g := range r.Gain[c] {
+			if g < -1e-9 || g > 1 {
+				t.Errorf("gain out of range at %d cores for %s: %g", c, b, g)
+			}
+		}
+	}
+	out := render(r.Render)
+	if !strings.Contains(out, "32") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestCoScheduling(t *testing.T) {
+	s := newFastSuite(t)
+	r, err := s.CoScheduling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Order) != 8 {
+		t.Fatalf("covered %d benchmarks", len(r.Order))
+	}
+	var improved int
+	for _, b := range r.Order {
+		if r.Throttled[b] <= 0 || r.Default[b] <= 0 {
+			t.Errorf("%s: non-positive makespan", b)
+		}
+		// Co-scheduling can never be worse than time slicing here: the
+		// throttled benchmark placement is at worst the all-cores one.
+		if r.Throttled[b] > r.Default[b]*1.0001 {
+			t.Errorf("%s: co-scheduled makespan %.1f worse than time-sliced %.1f",
+				b, r.Throttled[b], r.Default[b])
+		}
+		if r.Throttled[b] < r.Default[b]*0.999 {
+			improved++
+		}
+	}
+	if improved < 3 {
+		t.Errorf("co-scheduling helped only %d/8 benchmarks", improved)
+	}
+	out := render(r.Render)
+	if !strings.Contains(out, "co-scheduled") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/report"
+)
+
+// Fig1Result holds execution times by benchmark and hardware configuration
+// (paper Fig. 1), with the speedups and class summaries quoted in §III-A.
+type Fig1Result struct {
+	Configs []string
+	// TimeSec[bench][config] is whole-run execution time.
+	TimeSec map[string]map[string]float64
+	// Order preserves the paper's benchmark ordering.
+	Order []string
+}
+
+// Fig1ExecutionTimes reproduces Fig. 1: whole-application execution time on
+// each of the five threading configurations, using the noiseless machine.
+func (s *Suite) Fig1ExecutionTimes() (*Fig1Result, error) {
+	res := &Fig1Result{
+		Configs: s.ConfigNames(),
+		TimeSec: make(map[string]map[string]float64, len(s.Benches)),
+	}
+	for _, b := range s.Benches {
+		row := make(map[string]float64, len(s.Configs))
+		for _, cfg := range s.Configs {
+			t, _, _ := s.runWhole(b, s.Truth, cfg)
+			row[cfg.Name] = t
+		}
+		res.TimeSec[b.Name] = row
+		res.Order = append(res.Order, b.Name)
+	}
+	return res, nil
+}
+
+// Speedup returns T(config 1)/T(cfg) for the benchmark.
+func (r *Fig1Result) Speedup(bench, cfg string) float64 {
+	row := r.TimeSec[bench]
+	if row == nil || row[cfg] == 0 {
+		return 0
+	}
+	return row[r.Configs[0]] / row[cfg]
+}
+
+// ClassAverageSpeedup averages the 4-core speedup over the given
+// benchmarks (the paper's "scalable class" average of 2.37).
+func (r *Fig1Result) ClassAverageSpeedup(benches []string, cfg string) float64 {
+	var sum float64
+	for _, b := range benches {
+		sum += r.Speedup(b, cfg)
+	}
+	return sum / float64(len(benches))
+}
+
+// Render prints the execution-time table and headline speedups.
+func (r *Fig1Result) Render(w io.Writer) {
+	report.Section(w, "Figure 1: execution times by hardware configuration (seconds)")
+	headers := append([]string{"bench"}, r.Configs...)
+	headers = append(headers, "speedup(4)")
+	t := report.NewTable("", headers...)
+	for _, b := range r.Order {
+		cells := []string{b}
+		for _, c := range r.Configs {
+			cells = append(cells, fmt.Sprintf("%.1f", r.TimeSec[b][c]))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", r.Speedup(b, "4")))
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+	report.KV(w, "scalable class avg speedup on 4 (paper 2.37)", "%.2f",
+		r.ClassAverageSpeedup([]string{"BT", "FT", "LU-HP"}, "4"))
+	report.KV(w, "BT speedup on 4 (paper 2.69)", "%.2f", r.Speedup("BT", "4"))
+	report.KV(w, "CG speedup on 2b / 4 (paper 1.95 / 1.95)", "%.2f / %.2f",
+		r.Speedup("CG", "2b"), r.Speedup("CG", "4"))
+	report.KV(w, "MG speedup on 2b / 4 (paper 1.29 / 1.11)", "%.2f / %.2f",
+		r.Speedup("MG", "2b"), r.Speedup("MG", "4"))
+	report.KV(w, "IS speedup on 2b / 4 (paper 1.23 / 0.60)", "%.2f / %.2f",
+		r.Speedup("IS", "2b"), r.Speedup("IS", "4"))
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/report"
+)
+
+// Fig2Result holds per-phase aggregate IPC across configurations for one
+// benchmark (paper Fig. 2 shows SP).
+type Fig2Result struct {
+	Bench   string
+	Configs []string
+	Phases  []string
+	// IPC[phaseIdx][configIdx] is the observed aggregate IPC.
+	IPC [][]float64
+}
+
+// Fig2PhaseIPC reproduces Fig. 2: the aggregate IPC of every phase of the
+// given benchmark under each threading configuration, demonstrating the
+// phase heterogeneity that motivates phase-granularity adaptation.
+func (s *Suite) Fig2PhaseIPC(bench string) (*Fig2Result, error) {
+	b, err := s.Bench(bench)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Bench: bench, Configs: s.ConfigNames()}
+	for pi := range b.Phases {
+		p := &b.Phases[pi]
+		res.Phases = append(res.Phases, p.Name)
+		row := make([]float64, len(s.Configs))
+		for ci, cfg := range s.Configs {
+			row[ci] = s.Truth.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
+		}
+		res.IPC = append(res.IPC, row)
+	}
+	return res, nil
+}
+
+// MaxIPCRange returns the smallest and largest per-phase best-configuration
+// IPC (the paper quotes 0.32–4.64 for SP).
+func (r *Fig2Result) MaxIPCRange() (lo, hi float64) {
+	lo, hi = -1, -1
+	for _, row := range r.IPC {
+		best := 0.0
+		for _, v := range row {
+			if v > best {
+				best = v
+			}
+		}
+		if lo < 0 || best < lo {
+			lo = best
+		}
+		if best > hi {
+			hi = best
+		}
+	}
+	return lo, hi
+}
+
+// BestConfigs returns each phase's best configuration name.
+func (r *Fig2Result) BestConfigs() []string {
+	out := make([]string, len(r.Phases))
+	for i, row := range r.IPC {
+		best, bi := -1.0, 0
+		for ci, v := range row {
+			if v > best {
+				best, bi = v, ci
+			}
+		}
+		out[i] = r.Configs[bi]
+	}
+	return out
+}
+
+// Render prints the phase-IPC matrix and the heterogeneity summary.
+func (r *Fig2Result) Render(w io.Writer) {
+	report.Section(w, fmt.Sprintf("Figure 2: per-phase aggregate IPC of %s by configuration", r.Bench))
+	headers := append([]string{"#", "phase"}, r.Configs...)
+	headers = append(headers, "best")
+	t := report.NewTable("", headers...)
+	best := r.BestConfigs()
+	for i, name := range r.Phases {
+		cells := []string{fmt.Sprintf("%d", i+1), name}
+		for _, v := range r.IPC[i] {
+			cells = append(cells, fmt.Sprintf("%.2f", v))
+		}
+		cells = append(cells, best[i])
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+	lo, hi := r.MaxIPCRange()
+	report.KV(w, "per-phase best-IPC range (paper 0.32 .. 4.64)", "%.2f .. %.2f", lo, hi)
+}

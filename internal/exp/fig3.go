@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/metrics"
+	"github.com/greenhpc/actor/internal/report"
+)
+
+// Fig3Result holds power and energy per benchmark and configuration (paper
+// Fig. 3), plus the geometric-mean panel.
+type Fig3Result struct {
+	Configs []string
+	Order   []string
+	// PowerW[bench][config] is average system power; EnergyJ the total.
+	PowerW  map[string]map[string]float64
+	EnergyJ map[string]map[string]float64
+}
+
+// Fig3PowerEnergy reproduces Fig. 3: whole-run average power and energy per
+// configuration, using the modelled Watts Up Pro meter.
+func (s *Suite) Fig3PowerEnergy() (*Fig3Result, error) {
+	res := &Fig3Result{
+		Configs: s.ConfigNames(),
+		PowerW:  make(map[string]map[string]float64, len(s.Benches)),
+		EnergyJ: make(map[string]map[string]float64, len(s.Benches)),
+	}
+	for _, b := range s.Benches {
+		pw := make(map[string]float64, len(s.Configs))
+		en := make(map[string]float64, len(s.Configs))
+		for _, cfg := range s.Configs {
+			_, p, e := s.runWhole(b, s.Truth, cfg)
+			pw[cfg.Name] = p
+			en[cfg.Name] = e
+		}
+		res.PowerW[b.Name] = pw
+		res.EnergyJ[b.Name] = en
+		res.Order = append(res.Order, b.Name)
+	}
+	return res, nil
+}
+
+// GeoMeanNormalized returns the geometric mean across benchmarks of
+// power and energy at cfg normalised to the reference configuration —
+// Fig. 3's bottom-right panel.
+func (r *Fig3Result) GeoMeanNormalized(cfg, ref string) (power, energy float64, err error) {
+	var pw, en []float64
+	for _, b := range r.Order {
+		pw = append(pw, r.PowerW[b][cfg]/r.PowerW[b][ref])
+		en = append(en, r.EnergyJ[b][cfg]/r.EnergyJ[b][ref])
+	}
+	power, err = metrics.GeoMean(pw)
+	if err != nil {
+		return 0, 0, err
+	}
+	energy, err = metrics.GeoMean(en)
+	return power, energy, err
+}
+
+// Render prints power/energy tables and the geomean summary.
+func (r *Fig3Result) Render(w io.Writer) {
+	report.Section(w, "Figure 3: power (W) and energy (J) by hardware configuration")
+	headers := append([]string{"bench", "metric"}, r.Configs...)
+	t := report.NewTable("", headers...)
+	for _, b := range r.Order {
+		pw := []string{b, "power"}
+		en := []string{"", "energy"}
+		for _, c := range r.Configs {
+			pw = append(pw, fmt.Sprintf("%.1f", r.PowerW[b][c]))
+			en = append(en, fmt.Sprintf("%.0f", r.EnergyJ[b][c]))
+		}
+		t.AddRow(pw...)
+		t.AddRow(en...)
+	}
+	t.Render(w)
+
+	for _, cfg := range r.Configs[1:] {
+		p, e, err := r.GeoMeanNormalized(cfg, r.Configs[0])
+		if err == nil {
+			report.KV(w, fmt.Sprintf("geomean normalised power/energy at %s vs 1", cfg),
+				"%.3f / %.3f", p, e)
+		}
+	}
+	// Headline scalars from §III-B.
+	bt := r.PowerW["BT"]
+	if bt != nil && bt["1"] > 0 {
+		report.KV(w, "BT power ratio 4 vs 1 (paper 1.31)", "%.2f", bt["4"]/bt["1"])
+	}
+	if e := r.EnergyJ["BT"]; e != nil && e["4"] > 0 {
+		report.KV(w, "BT energy ratio 1 vs 4 (paper 2.04)", "%.2f", e["1"]/e["4"])
+	}
+	var sum float64
+	for _, b := range r.Order {
+		sum += r.PowerW[b]["4"] / r.PowerW[b]["1"]
+	}
+	report.KV(w, "suite avg power ratio 4 vs 1 (paper 1.142)", "%.3f", sum/float64(len(r.Order)))
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/dataset"
+	"github.com/greenhpc/actor/internal/metrics"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/report"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// GeneralizeResult evaluates the paper's deployment claim — "the model
+// would generally be trained a single time with a given set of training
+// applications, and would subsequently be used for any desired
+// application" — by training on the NPB suite and predicting a population
+// of never-seen random applications.
+type GeneralizeResult struct {
+	Apps int
+	// MedianErr is the median relative IPC prediction error across every
+	// (random phase, target config) prediction.
+	MedianErr float64
+	// Rank1 is the fraction of random phases whose selected configuration
+	// is the true best.
+	Rank1 float64
+	// WorstPick is the fraction of phases where the worst configuration
+	// was selected (safety property; should be ≈ 0).
+	WorstPick float64
+	// Errors holds every scored error (for CDFs).
+	Errors []float64
+}
+
+// Generalize trains a full-event ANN bank on the complete NPB suite, then
+// evaluates it on `apps` randomly generated applications.
+func (s *Suite) Generalize(apps int) (*GeneralizeResult, error) {
+	if apps < 1 {
+		return nil, fmt.Errorf("exp: need at least one app")
+	}
+	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector.Repetitions = s.Opts.Repetitions
+	suiteSamples, err := collector.CollectSuite(s.Benches)
+	if err != nil {
+		return nil, err
+	}
+	var train []dataset.PhaseSample
+	for _, b := range s.Benches {
+		train = append(train, suiteSamples[b.Name]...)
+	}
+	bank, err := core.TrainANNBank(train, []int{12}, TargetConfigs, s.Opts.Folds, s.Opts.ANN)
+	if err != nil {
+		return nil, err
+	}
+	pred := bank.Predictors()[0]
+
+	pop, err := workload.GeneratePopulation("RAND", apps, workload.DefaultGenConfig(s.Opts.Seed+777))
+	if err != nil {
+		return nil, err
+	}
+	res := &GeneralizeResult{Apps: apps}
+	hist := metrics.NewRankHistogram(len(s.Configs))
+	for _, b := range pop {
+		collector := dataset.NewCollector(s.Noisy, s.Truth)
+		collector.Repetitions = 1
+		samples, err := collector.CollectBenchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		for pi, ps := range samples {
+			preds, err := pred.PredictIPC(ps.Rates)
+			if err != nil {
+				return nil, err
+			}
+			for _, tgt := range TargetConfigs {
+				res.Errors = append(res.Errors,
+					metrics.RelativeError(ps.MeasuredIPC[tgt], preds[tgt]))
+			}
+			bestName := "4"
+			bestIPC := ps.Rates[pmu.Instructions]
+			for _, tgt := range TargetConfigs {
+				if preds[tgt] > bestIPC {
+					bestIPC, bestName = preds[tgt], tgt
+				}
+			}
+			ranking := core.RankConfigsByTime(&b.Phases[pi], b.Idiosyncrasy, s.Truth, s.Configs)
+			hist.Add(ranking, bestName)
+		}
+	}
+	res.MedianErr, err = metrics.Median(res.Errors)
+	if err != nil {
+		return nil, err
+	}
+	res.Rank1 = hist.Fraction(1)
+	res.WorstPick = hist.Fraction(len(s.Configs))
+	return res, nil
+}
+
+// Render prints the generalisation summary.
+func (r *GeneralizeResult) Render(w io.Writer) {
+	report.Section(w, fmt.Sprintf("Generalization: NPB-trained model on %d random unseen applications", r.Apps))
+	report.KV(w, "median prediction error", "%.1f%%", r.MedianErr*100)
+	report.KV(w, "best config selected", "%.1f%%", r.Rank1*100)
+	report.KV(w, "worst config selected", "%.1f%%", r.WorstPick*100)
+	report.KV(w, "predictions scored", "%d", len(r.Errors))
+}

@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGeneralizeToUnseenApplications(t *testing.T) {
+	s := newFastSuite(t)
+	r, err := s.Generalize(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Apps != 6 || len(r.Errors) == 0 {
+		t.Fatalf("result incomplete: %+v", r)
+	}
+	// Random unseen apps are harder than leave-one-out NPB, but the model
+	// must remain usable: median error bounded, best-config rate well
+	// above chance (20% for 5 configs), and the worst config essentially
+	// never picked.
+	if r.MedianErr > 0.30 {
+		t.Errorf("median error on unseen apps = %.1f%%, want ≤ 30%%", r.MedianErr*100)
+	}
+	if r.Rank1 < 0.35 {
+		t.Errorf("rank-1 rate on unseen apps = %.1f%%, want ≥ 35%%", r.Rank1*100)
+	}
+	if r.WorstPick > 0.10 {
+		t.Errorf("worst config picked %.1f%% of the time", r.WorstPick*100)
+	}
+	out := render(r.Render)
+	if !strings.Contains(out, "Generalization") {
+		t.Error("render incomplete")
+	}
+	if _, err := s.Generalize(0); err == nil {
+		t.Error("zero apps accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRobustnessAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed training in -short mode")
+	}
+	opts := FastOptions()
+	opts.Repetitions = 2
+	opts.Folds = 4
+	opts.ANN.MaxEpochs = 80
+	r, err := Robustness(opts, []int64{11, 22, 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MedianErr) != 3 || len(r.Rank1) != 3 || len(r.ED2Saving) != 3 {
+		t.Fatalf("per-seed series incomplete: %+v", r)
+	}
+	for i := range r.Seeds {
+		if r.MedianErr[i] <= 0.01 || r.MedianErr[i] > 0.3 {
+			t.Errorf("seed %d: median error %.3f out of plausible band", r.Seeds[i], r.MedianErr[i])
+		}
+		if r.Rank1[i] < 0.3 || r.Rank1[i] > 1 {
+			t.Errorf("seed %d: rank-1 rate %.3f out of plausible band", r.Seeds[i], r.Rank1[i])
+		}
+		if r.ED2Saving[i] < 0 || r.ED2Saving[i] > 0.6 {
+			t.Errorf("seed %d: ED2 saving %.3f out of plausible band", r.Seeds[i], r.ED2Saving[i])
+		}
+	}
+	out := render(r.Render)
+	if !strings.Contains(out, "±") || !strings.Contains(out, "Robustness") {
+		t.Error("render incomplete")
+	}
+
+	if _, err := Robustness(opts, nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+}

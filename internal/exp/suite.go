@@ -1,0 +1,133 @@
+// Package exp contains one driver per figure of the paper's evaluation:
+//
+//	Fig. 1 — execution time per benchmark × configuration
+//	Fig. 2 — per-phase aggregate IPC of SP across configurations
+//	Fig. 3 — power and energy per benchmark × configuration (+ geomeans)
+//	Fig. 6 — CDF of leave-one-out IPC prediction error
+//	Fig. 7 — oracle rank of the configuration ACTOR selects per phase
+//	Fig. 8 — normalised time/power/energy/ED² of the adaptation strategies
+//
+// Each driver returns a structured result with a Render method producing
+// the same rows/series the paper reports; cmd/actorsim and the root
+// bench_test.go wrap them.
+package exp
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/power"
+	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// Options tunes experiment fidelity (training cost vs accuracy).
+type Options struct {
+	// Seed drives every stochastic component (measurement noise, fold
+	// shuffles, weight initialisation).
+	Seed int64
+	// TimeSigma and CountSigma are the machine measurement noise levels.
+	TimeSigma, CountSigma float64
+	// Repetitions is the number of noisy sampling passes per phase when
+	// building training data.
+	Repetitions int
+	// Folds is the cross-validation ensemble size (10 in the paper).
+	Folds int
+	// ANN is the member-network training configuration.
+	ANN ann.Config
+}
+
+// DefaultOptions mirrors the paper: 10-fold ensembles, moderate counter
+// noise, six sampling repetitions per phase.
+func DefaultOptions() Options {
+	return Options{
+		Seed:        42,
+		TimeSigma:   0.03,
+		CountSigma:  0.12,
+		Repetitions: 6,
+		Folds:       10,
+		ANN:         ann.DefaultConfig(),
+	}
+}
+
+// FastOptions trades a little fidelity for speed; used by the test suite so
+// the full pipeline stays runnable in seconds.
+func FastOptions() Options {
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 150
+	cfg.Patience = 15
+	return Options{
+		Seed:        42,
+		TimeSigma:   0.03,
+		CountSigma:  0.12,
+		Repetitions: 3,
+		Folds:       5,
+		ANN:         cfg,
+	}
+}
+
+// Suite bundles the experimental platform: the quad-core Xeon model in
+// noiseless (oracle) and noisy (measurement) forms, the power model, the
+// configuration space and the NPB workloads.
+type Suite struct {
+	Opts    Options
+	Truth   *machine.Machine
+	Noisy   *machine.Machine
+	Power   *power.Model
+	Configs []topology.Placement
+	Benches []*workload.Benchmark
+}
+
+// NewSuite constructs the platform used by every experiment.
+func NewSuite(opts Options) (*Suite, error) {
+	if err := npb.Validate(); err != nil {
+		return nil, err
+	}
+	truth, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		return nil, err
+	}
+	src := noise.New(opts.Seed)
+	noisy := truth.WithNoise(src.Fork("machine"), opts.TimeSigma, opts.CountSigma)
+	return &Suite{
+		Opts:    opts,
+		Truth:   truth,
+		Noisy:   noisy,
+		Power:   power.Default(),
+		Configs: topology.PaperConfigs(),
+		Benches: npb.All(),
+	}, nil
+}
+
+// Bench returns a benchmark by name.
+func (s *Suite) Bench(name string) (*workload.Benchmark, error) {
+	for _, b := range s.Benches {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown benchmark %q", name)
+}
+
+// ConfigNames returns the configuration labels in canonical order.
+func (s *Suite) ConfigNames() []string {
+	out := make([]string, len(s.Configs))
+	for i, c := range s.Configs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// runWhole executes every phase of b once per iteration on machine m and
+// returns total time, average power and energy.
+func (s *Suite) runWhole(b *workload.Benchmark, m *machine.Machine, cfg topology.Placement) (timeSec, avgPower, energyJ float64) {
+	var acc power.Accumulator
+	for pi := range b.Phases {
+		res := m.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg)
+		acc.Add(res.TimeSec*float64(b.Iterations), s.Power.Power(res.Activity))
+	}
+	return acc.TimeSec, acc.AvgPower(), acc.EnergyJ
+}

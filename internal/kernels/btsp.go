@@ -1,0 +1,185 @@
+package kernels
+
+import "github.com/greenhpc/actor/internal/omp"
+
+// BT solves batches of independent tridiagonal systems along grid lines
+// with the Thomas algorithm — the line-solve structure of NPB BT's
+// x/y/z_solve phases (dense per-line work, excellent locality).
+type BT struct {
+	lines int // number of independent systems
+	n     int // unknowns per system
+	a     []float64
+	b     []float64
+	c     []float64
+	d     []float64
+	x     []float64
+	iter  int
+}
+
+// NewBT builds `lines` systems of n unknowns each.
+func NewBT(lines, n int) *BT {
+	if lines < 4 {
+		lines = 4
+	}
+	if n < 8 {
+		n = 8
+	}
+	k := &BT{lines: lines, n: n}
+	sz := lines * n
+	k.a = make([]float64, sz)
+	k.b = make([]float64, sz)
+	k.c = make([]float64, sz)
+	k.d = make([]float64, sz)
+	k.x = make([]float64, sz)
+	g := lcg(424242)
+	for i := 0; i < sz; i++ {
+		k.a[i] = -1 - 0.1*g.float()
+		k.c[i] = -1 - 0.1*g.float()
+		k.b[i] = 4 + g.float() // diagonally dominant
+		k.d[i] = g.float()
+	}
+	return k
+}
+
+// Name implements Kernel.
+func (k *BT) Name() string { return "BT" }
+
+// Step solves every line, then feeds the solutions back into the RHS so
+// successive timesteps differ.
+func (k *BT) Step(t *omp.Team) {
+	n := k.n
+	t.ParallelBlocks(k.lines, func(lo, hi int) {
+		cp := make([]float64, n)
+		dp := make([]float64, n)
+		for line := lo; line < hi; line++ {
+			off := line * n
+			thomas(k.a[off:off+n], k.b[off:off+n], k.c[off:off+n], k.d[off:off+n], k.x[off:off+n], cp, dp)
+		}
+	})
+	k.iter++
+	// add-style update (the streaming phase).
+	t.ParallelBlocks(k.lines*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.d[i] = 0.5*k.d[i] + 0.5*k.x[i]
+		}
+	})
+}
+
+// thomas solves one tridiagonal system (a sub-, b main-, c super-diagonal,
+// d RHS) into x using scratch cp/dp.
+func thomas(a, b, c, d, x, cp, dp []float64) {
+	n := len(b)
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		m := b[i] - a[i]*cp[i-1]
+		cp[i] = c[i] / m
+		dp[i] = (d[i] - a[i]*dp[i-1]) / m
+	}
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+}
+
+// Checksum returns Σx.
+func (k *BT) Checksum() float64 {
+	var s float64
+	for _, v := range k.x {
+		s += v
+	}
+	return s
+}
+
+// SP solves batches of independent pentadiagonal systems along lines — the
+// scalar-pentadiagonal structure of NPB SP's x/y/z_solve phases.
+type SP struct {
+	lines int
+	n     int
+	// bands: e (−2), a (−1), b (0), c (+1), f (+2); d is the RHS.
+	e, a, b, c, f, d, x []float64
+}
+
+// NewSP builds `lines` pentadiagonal systems of n unknowns.
+func NewSP(lines, n int) *SP {
+	if lines < 4 {
+		lines = 4
+	}
+	if n < 8 {
+		n = 8
+	}
+	k := &SP{lines: lines, n: n}
+	sz := lines * n
+	for _, p := range []*[]float64{&k.e, &k.a, &k.b, &k.c, &k.f, &k.d, &k.x} {
+		*p = make([]float64, sz)
+	}
+	g := lcg(133713)
+	for i := 0; i < sz; i++ {
+		k.e[i] = -0.3 - 0.05*g.float()
+		k.a[i] = -1 - 0.1*g.float()
+		k.b[i] = 6 + g.float() // strong diagonal dominance
+		k.c[i] = -1 - 0.1*g.float()
+		k.f[i] = -0.3 - 0.05*g.float()
+		k.d[i] = g.float()
+	}
+	return k
+}
+
+// Name implements Kernel.
+func (k *SP) Name() string { return "SP" }
+
+// Step eliminates and back-substitutes every line, then relaxes the RHS.
+func (k *SP) Step(t *omp.Team) {
+	n := k.n
+	t.ParallelBlocks(k.lines, func(lo, hi int) {
+		// Per-thread scratch copies of the bands elimination mutates.
+		aa := make([]float64, n)
+		bb := make([]float64, n)
+		cc := make([]float64, n)
+		dd := make([]float64, n)
+		for line := lo; line < hi; line++ {
+			off := line * n
+			copy(aa, k.a[off:off+n])
+			copy(bb, k.b[off:off+n])
+			copy(cc, k.c[off:off+n])
+			copy(dd, k.d[off:off+n])
+			// Banded Gaussian elimination (bandwidth 2, no pivoting —
+			// the systems are diagonally dominant by construction).
+			for i := 0; i < n; i++ {
+				if i+1 < n {
+					m1 := aa[i+1] / bb[i]
+					bb[i+1] -= m1 * cc[i]
+					cc[i+1] -= m1 * k.f[off+i]
+					dd[i+1] -= m1 * dd[i]
+				}
+				if i+2 < n {
+					m2 := k.e[off+i+2] / bb[i]
+					aa[i+2] -= m2 * cc[i]
+					bb[i+2] -= m2 * k.f[off+i]
+					dd[i+2] -= m2 * dd[i]
+				}
+			}
+			// Back substitution over the two super-diagonals.
+			k.x[off+n-1] = dd[n-1] / bb[n-1]
+			k.x[off+n-2] = (dd[n-2] - cc[n-2]*k.x[off+n-1]) / bb[n-2]
+			for i := n - 3; i >= 0; i-- {
+				k.x[off+i] = (dd[i] - cc[i]*k.x[off+i+1] - k.f[off+i]*k.x[off+i+2]) / bb[i]
+			}
+		}
+	})
+	// rhs relaxation (streaming update).
+	t.ParallelBlocks(k.lines*n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k.d[i] = 0.7*k.d[i] + 0.3*k.x[i]
+		}
+	})
+}
+
+// Checksum returns Σx.
+func (k *SP) Checksum() float64 {
+	var s float64
+	for _, v := range k.x {
+		s += v
+	}
+	return s
+}

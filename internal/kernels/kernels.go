@@ -1,0 +1,68 @@
+// Package kernels contains real, runnable Go mini-kernels in the spirit of
+// each NAS Parallel Benchmark the paper evaluates. They execute genuine
+// computation on the omp runtime and are used by the live examples, the
+// omp-integration tests and the micro-benchmarks.
+//
+// Each kernel is deterministic: Setup seeds all data from fixed constants
+// and Checksum returns a value tests can pin down. Sizes are scaled far
+// below the real class-A problems so the suite runs in CI-time, but the
+// access patterns (streaming stencils, irregular gathers, butterflies,
+// wavefronts, bucket scatters) match their namesakes.
+package kernels
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/actor/internal/omp"
+)
+
+// Kernel is one iterative mini-benchmark.
+type Kernel interface {
+	// Name is the NPB-style code name, e.g. "CG".
+	Name() string
+	// Step executes one timestep on the team.
+	Step(t *omp.Team)
+	// Checksum returns a deterministic verification value.
+	Checksum() float64
+}
+
+// All returns one instance of every kernel at the given scale (1 = small
+// test size, larger values grow the working set roughly linearly).
+func All(scale int) []Kernel {
+	if scale < 1 {
+		scale = 1
+	}
+	return []Kernel{
+		NewCG(64*scale, 8),
+		NewMG(16 * scale),
+		NewFT(64 * scale),
+		NewIS(1<<14*scale, 1<<10),
+		NewLU(64 * scale),
+		NewLUHP(64 * scale),
+		NewBT(32*scale, 64),
+		NewSP(32*scale, 64),
+	}
+}
+
+// ByName returns the kernel with the given name at the given scale.
+func ByName(name string, scale int) (Kernel, error) {
+	for _, k := range All(scale) {
+		if k.Name() == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// lcg is a tiny deterministic pseudo-random generator used by every kernel
+// so data is reproducible without importing math/rand state.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = (*g)*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+func (g *lcg) float() float64 {
+	return float64(g.next()>>11) / float64(1<<53)
+}

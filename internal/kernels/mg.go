@@ -1,0 +1,107 @@
+package kernels
+
+import "github.com/greenhpc/actor/internal/omp"
+
+// MG runs a two-level multigrid-flavoured V-cycle on a 3-D grid: residual
+// smoothing on the fine grid (the bandwidth-bound resid/psinv phases),
+// restriction to a coarse grid, coarse smoothing, and prolongation back —
+// streaming 7-point stencils like NPB MG.
+type MG struct {
+	n      int // fine grid side (power of two preferred)
+	u, v   []float64
+	r      []float64
+	coarse []float64
+}
+
+// NewMG builds an n³ fine grid with deterministic initial data.
+func NewMG(n int) *MG {
+	if n < 8 {
+		n = 8
+	}
+	m := &MG{n: n}
+	sz := n * n * n
+	m.u = make([]float64, sz)
+	m.v = make([]float64, sz)
+	m.r = make([]float64, sz)
+	half := n / 2
+	m.coarse = make([]float64, half*half*half)
+	g := lcg(777)
+	for i := range m.v {
+		m.v[i] = g.float() - 0.5
+	}
+	return m
+}
+
+// Name implements Kernel.
+func (m *MG) Name() string { return "MG" }
+
+func (m *MG) idx(i, j, k int) int { return (i*m.n+j)*m.n + k }
+
+// Step runs one V-cycle.
+func (m *MG) Step(t *omp.Team) {
+	n := m.n
+	// resid: r = v − A·u with a 7-point Laplacian.
+	t.ParallelBlocks(n-2, func(lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			for j := 1; j < n-1; j++ {
+				for k := 1; k < n-1; k++ {
+					c := m.idx(i, j, k)
+					au := 6*m.u[c] - m.u[c-1] - m.u[c+1] -
+						m.u[c-n] - m.u[c+n] -
+						m.u[c-n*n] - m.u[c+n*n]
+					m.r[c] = m.v[c] - au
+				}
+			}
+		}
+	})
+	// psinv: u += smoother(r).
+	t.ParallelBlocks(n-2, func(lo, hi int) {
+		for i := lo + 1; i < hi+1; i++ {
+			for j := 1; j < n-1; j++ {
+				for k := 1; k < n-1; k++ {
+					c := m.idx(i, j, k)
+					m.u[c] += 0.25*m.r[c] + 0.0625*(m.r[c-1]+m.r[c+1]+m.r[c-n]+m.r[c+n])
+				}
+			}
+		}
+	})
+	// rprj3: restrict the residual to the coarse grid (full weighting of
+	// the even points).
+	half := n / 2
+	cidx := func(i, j, k int) int { return (i*half+j)*half + k }
+	t.ParallelBlocks(half-1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for cj := 0; cj < half-1; cj++ {
+				for ck := 0; ck < half-1; ck++ {
+					f := m.idx(2*ci+1, 2*cj+1, 2*ck+1)
+					m.coarse[cidx(ci, cj, ck)] = 0.5*m.r[f] +
+						0.125*(m.r[f-1]+m.r[f+1]+m.r[f-n]+m.r[f+n])
+				}
+			}
+		}
+	})
+	// interp: prolongate the coarse correction back into u.
+	t.ParallelBlocks(half-1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			for cj := 0; cj < half-1; cj++ {
+				for ck := 0; ck < half-1; ck++ {
+					f := m.idx(2*ci+1, 2*cj+1, 2*ck+1)
+					m.u[f] += 0.5 * m.coarse[cidx(ci, cj, ck)]
+				}
+			}
+		}
+	})
+}
+
+// Checksum returns the L1 norm of u.
+func (m *MG) Checksum() float64 {
+	var s float64
+	for _, v := range m.u {
+		if v < 0 {
+			s -= v
+		} else {
+			s += v
+		}
+	}
+	return s
+}

@@ -1,0 +1,539 @@
+// Package machine is the platform performance model: it predicts, for a
+// workload phase executed under a particular thread placement, the execution
+// time, per-core and aggregate IPC, the hardware event counts a PMU would
+// observe, and the activity factors the power model consumes.
+//
+// It substitutes for the paper's physical Intel Xeon QX6600. The model is
+// analytic rather than cycle-accurate: per-thread CPI is composed from the
+// phase's inherent ILP, branch/TLB penalties, L2-group capacity sharing (via
+// internal/cache) and front-side-bus queueing (via internal/bus), iterated
+// to a fixed point because memory traffic depends on execution speed and
+// vice versa. This reproduces the first-order phenomena the paper analyses:
+// destructive L2 interference between tightly coupled threads, FSB
+// saturation for bandwidth-bound codes, Amdahl and synchronisation limits,
+// and load imbalance at odd thread counts.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/greenhpc/actor/internal/bus"
+	"github.com/greenhpc/actor/internal/cache"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// Params holds the microarchitectural latencies and penalties of the
+// modelled core. Defaults (see DefaultParams) approximate a 65 nm Core-2.
+type Params struct {
+	// L2LatencyCycles is the L1-miss/L2-hit service latency.
+	L2LatencyCycles float64
+	// MemLatencyCycles is the unloaded L2-miss-to-memory latency.
+	MemLatencyCycles float64
+	// BranchMissPenaltyCycles is the pipeline refill cost per mispredict.
+	BranchMissPenaltyCycles float64
+	// TLBMissPenaltyCycles is the page-walk cost per DTLB miss.
+	TLBMissPenaltyCycles float64
+	// PeakIssueIPC bounds per-core IPC.
+	PeakIssueIPC float64
+	// FixedPointIters is the number of damped iterations of the
+	// CPI↔bandwidth fixed point.
+	FixedPointIters int
+	// ResponseSigma scales the deterministic per-(phase, placement)
+	// execution-time perturbation derived from the phase Fingerprint. It
+	// models application idiosyncrasies (allocation layout, conflict
+	// patterns, NUMA effects) that shift each phase's configuration
+	// response but are invisible to the performance counters. Part of
+	// ground truth: oracles see it, predictors cannot learn it across
+	// applications.
+	ResponseSigma float64
+}
+
+// DefaultParams returns Core-2-class latencies: 14-cycle L2, 220-cycle
+// memory, 15-cycle branch restart, 30-cycle page walk, 4-wide issue.
+func DefaultParams() Params {
+	return Params{
+		L2LatencyCycles:         14,
+		MemLatencyCycles:        220,
+		BranchMissPenaltyCycles: 15,
+		TLBMissPenaltyCycles:    30,
+		PeakIssueIPC:            4,
+		FixedPointIters:         12,
+		ResponseSigma:           0.08,
+	}
+}
+
+// Machine couples a topology with cache/bus models and core parameters.
+type Machine struct {
+	Topo   *topology.Topology
+	Params Params
+
+	l2  *cache.SharingModel
+	fsb *bus.Model
+
+	// noiseSrc, when non-nil, perturbs RunPhase results with run-to-run
+	// variance (time ±~1%, event counts per TimeSigma/CountSigma).
+	noiseSrc   *noise.Source
+	timeSigma  float64
+	countSigma float64
+
+	// freqScale scales the core clock relative to the topology's nominal
+	// frequency (1 = nominal). DVFS extension: lowering the clock
+	// lengthens compute time but leaves memory time unchanged, so
+	// memory-bound phases lose little performance while dynamic power
+	// falls roughly cubically. See WithFrequency.
+	freqScale float64
+}
+
+// New builds a machine for the topology with default parameters and no
+// measurement noise (ground truth — used for oracles and calibration).
+func New(t *topology.Topology) (*Machine, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	fsb, err := bus.New(t.BusBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		Topo:      t,
+		Params:    DefaultParams(),
+		l2:        cache.NewSharingModel(float64(t.L2BytesPerGroup)),
+		fsb:       fsb,
+		freqScale: 1,
+	}, nil
+}
+
+// WithFrequency returns a copy of the machine clocked at scale × nominal
+// frequency (0 < scale ≤ 1 for the usual DVFS ladder). Memory and bus
+// service times are wall-clock constants, so their cycle costs shrink as
+// the clock slows — the standard DVFS trade the related work (Li &
+// Martínez [5]) exploits, combined here with concurrency throttling in
+// internal/dvfs.
+func (m *Machine) WithFrequency(scale float64) *Machine {
+	if scale <= 0 {
+		panic("machine: non-positive frequency scale")
+	}
+	cp := *m
+	cp.freqScale = scale
+	return &cp
+}
+
+// FrequencyScale returns the machine's clock scale (1 = nominal).
+func (m *Machine) FrequencyScale() float64 { return m.freqScale }
+
+// WithNoise returns a copy of the machine whose RunPhase results carry
+// deterministic, seeded measurement noise: execution time with relative
+// sigma timeSigma and each event count with relative sigma countSigma.
+func (m *Machine) WithNoise(src *noise.Source, timeSigma, countSigma float64) *Machine {
+	cp := *m
+	cp.noiseSrc = src
+	cp.timeSigma = timeSigma
+	cp.countSigma = countSigma
+	return &cp
+}
+
+// Result is the outcome of executing one phase under one placement.
+type Result struct {
+	// TimeSec is the wall-clock time of the phase execution.
+	TimeSec float64
+	// WallCycles is TimeSec expressed in core cycles.
+	WallCycles float64
+	// AggIPC is total instructions divided by wall cycles — the paper's
+	// per-phase "observed IPC" (Fig. 2), which exceeds one core's peak
+	// when threads run concurrently.
+	AggIPC float64
+	// PerThreadIPC is each thread's own IPC during the parallel part.
+	PerThreadIPC []float64
+	// Counts are the aggregate hardware event counts for the execution.
+	Counts pmu.Counts
+	// Activity summarises what the power model needs.
+	Activity Activity
+}
+
+// Activity captures the utilisation factors feeding the power model.
+type Activity struct {
+	// TimeSec is the interval length.
+	TimeSec float64
+	// ActiveCores is the number of cores running threads.
+	ActiveCores int
+	// TotalCores is the machine's core count (idle cores consume only
+	// base power).
+	TotalCores int
+	// AvgCoreIPC is the mean per-active-core IPC (drives dynamic power).
+	AvgCoreIPC float64
+	// PeakIPC is the core's issue-width bound, for normalising AvgCoreIPC.
+	PeakIPC float64
+	// AvgCoreUtil is the fraction of the interval the active cores were
+	// unstalled (1 − stall fraction).
+	AvgCoreUtil float64
+	// BusUtilization is FSB occupancy in [0,1].
+	BusUtilization float64
+	// BusBytes is the total bus traffic during the interval.
+	BusBytes float64
+	// L2AccessesPerSec is the aggregate L2 request rate.
+	L2AccessesPerSec float64
+	// FreqScale is the clock scale the interval ran at (0 is read as 1 —
+	// nominal frequency).
+	FreqScale float64
+}
+
+// RunPhase executes phase p of a benchmark with idiosyncrasy idio under
+// placement pl and returns the modelled result. It panics on invalid
+// placements (no cores); profile validity is the caller's responsibility
+// (see workload.PhaseProfile.Validate).
+func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
+	n := pl.Threads()
+	if n == 0 {
+		panic("machine: placement with no cores")
+	}
+	freq := m.Topo.FrequencyHz * m.clockScale()
+
+	// --- Work division ------------------------------------------------
+	parInstr := p.Instructions * p.ParallelFraction
+	serInstr := p.Instructions - parInstr
+	imb := imbalanceFactor(p.ChunkGranularity, n)
+	// Heaviest thread's share of the parallel instructions.
+	heavyShare := imb / float64(n)
+
+	// --- Per-thread L2 miss rates (placement-dependent) ----------------
+	// Each thread's miss rate depends on how many placement threads share
+	// its L2 group.
+	missL2 := make([]float64, n)
+	for i, c := range pl.Cores {
+		load := pl.GroupLoad(m.Topo, c)
+		missL2[i] = m.l2.MissRateShared(p.WorkingSetBytes, load, p.SharingFactor, p.ColdMissRate, p.LocalityExp)
+	}
+
+	// --- CPI ↔ bus-bandwidth fixed point -------------------------------
+	lineBytes := 64.0
+	storeFrac := 1 - p.LoadFraction
+	trafficPerMiss := lineBytes * (1 + p.StoreBandwidthBoost*storeFrac)
+	mpiL1 := p.MemRefsPerInstr * p.L1MissRate // L2 accesses per instruction
+
+	groupLoads := make([]int, n)
+	for i, c := range pl.Cores {
+		groupLoads[i] = pl.GroupLoad(m.Topo, c)
+	}
+	busFactor := 1.0
+	cpi := make([]float64, n)
+	var busUtil float64
+	for iter := 0; iter < m.Params.FixedPointIters; iter++ {
+		var traffic float64 // bytes/sec offered to the FSB
+		for t := 0; t < n; t++ {
+			cpi[t] = m.threadCPI(p, mpiL1, missL2[t], busFactor, groupLoads[t])
+			mpiL2 := mpiL1 * missL2[t]
+			traffic += mpiL2 * (freq / cpi[t]) * trafficPerMiss
+		}
+		newFactor := m.fsb.LatencyFactor(traffic)
+		busFactor = 0.5*busFactor + 0.5*newFactor
+		busUtil = m.fsb.Utilization(traffic)
+	}
+
+	// --- Cycle accounting ----------------------------------------------
+	// Serial section runs on one thread with a single-thread L2 share.
+	serMiss := m.l2.MissRateShared(p.WorkingSetBytes, 1, p.SharingFactor, p.ColdMissRate, p.LocalityExp)
+	serCPI := m.threadCPI(p, mpiL1, serMiss, busFactor, 1)
+	serCycles := serInstr * serCPI
+
+	// Critical-section serialisation and hidden idiosyncrasy both grow
+	// with thread count; neither is visible in the cache/bus counters.
+	critFactor := 1 + p.CriticalFraction*float64(n-1)
+	idioFactor := 1 + idio*float64(n-1)/3
+	if idioFactor < 0.5 {
+		idioFactor = 0.5
+	}
+
+	// The slowest thread gates the end-of-phase barrier: the heaviest
+	// chunk share executed at the worst per-thread CPI.
+	perThreadIPC := make([]float64, n)
+	maxCPI := 0.0
+	for t := 0; t < n; t++ {
+		if cpi[t] > maxCPI {
+			maxCPI = cpi[t]
+		}
+		if cpi[t] > 0 {
+			perThreadIPC[t] = 1 / (cpi[t] * critFactor * idioFactor)
+		}
+	}
+	parCycles := parInstr * heavyShare * maxCPI * critFactor * idioFactor
+
+	syncCycles := 0.0
+	if n > 1 {
+		syncCycles = p.SyncCycles * (1 + math.Log2(float64(n))) * idioFactor
+	}
+
+	// Bandwidth wall: the phase cannot finish faster than its total bus
+	// traffic takes to transfer. In the saturated regime execution time is
+	// proportional to bytes moved — the mechanism behind IS and MG losing
+	// performance when destructive L2 sharing multiplies their misses.
+	//
+	// Note: near saturation the queueing factor above and this wall
+	// overlap slightly; lowering the clock reduces offered load and hence
+	// queueing, which can shave up to ~10% off a saturated phase's
+	// latency-inflated compute path. The wall bounds the effect; it is a
+	// known, benign artifact of the analytic composition.
+	var avgMissL2 float64
+	for _, mr := range missL2 {
+		avgMissL2 += mr
+	}
+	avgMissL2 /= float64(n)
+	totalBytes := p.Instructions * mpiL1 * avgMissL2 * trafficPerMiss
+	bwCycles := m.fsb.MinTransferTime(totalBytes) * freq
+
+	wallCycles := serCycles + parCycles + syncCycles
+	if bwCycles > wallCycles {
+		wallCycles = bwCycles
+	}
+	wallCycles *= m.responseFactor(p, pl)
+	timeSec := wallCycles / freq
+
+	// --- Event counts ---------------------------------------------------
+	counts := m.eventCounts(p, pl, missL2, wallCycles, busUtil)
+
+	// --- Activity for the power model ------------------------------------
+	var sumIPC float64
+	for _, v := range perThreadIPC {
+		sumIPC += v
+	}
+	avgCoreIPC := sumIPC / float64(n)
+	stall := m.stallFraction(p, mpiL1, missL2[0], busFactor)
+	act := Activity{
+		TimeSec:          timeSec,
+		ActiveCores:      n,
+		TotalCores:       m.Topo.NumCores,
+		AvgCoreIPC:       avgCoreIPC,
+		PeakIPC:          m.Params.PeakIssueIPC,
+		AvgCoreUtil:      1 - stall,
+		BusUtilization:   busUtil,
+		BusBytes:         counts[pmu.BusTransMem] * lineBytes,
+		L2AccessesPerSec: counts[pmu.L2References] / math.Max(timeSec, 1e-12),
+		FreqScale:        m.clockScale(),
+	}
+
+	res := Result{
+		TimeSec:      timeSec,
+		WallCycles:   wallCycles,
+		AggIPC:       p.Instructions / wallCycles,
+		PerThreadIPC: perThreadIPC,
+		Counts:       counts,
+		Activity:     act,
+	}
+	if m.noiseSrc != nil {
+		m.perturb(&res)
+	}
+	return res
+}
+
+// threadCPI composes one thread's cycles-per-instruction from core, branch,
+// TLB, L2 and memory terms at the current bus latency inflation. groupLoad
+// is the number of placement threads sharing this thread's L2: co-resident
+// threads contend for the L2's ports, inflating its access latency.
+func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64, groupLoad int) float64 {
+	coreCPI := 1 / p.BaseIPC
+	branch := p.BranchRate * p.BranchMissRate * m.Params.BranchMissPenaltyCycles
+	tlb := p.MemRefsPerInstr * p.TLBMissRate * m.Params.TLBMissPenaltyCycles
+
+	mlpL2 := math.Max(1, 0.7*p.MLP) // L2 hits overlap slightly less than misses
+	l2Lat := m.Params.L2LatencyCycles
+	if groupLoad > 1 {
+		l2Lat *= 1 + 0.35*float64(groupLoad-1)
+	}
+	l2Term := mpiL1 * (1 - missL2) * l2Lat / mlpL2
+
+	prefetchHide := 1 - 0.6*p.PrefetchFriendly
+	// Memory service time is a wall-clock constant: its cost in core
+	// cycles scales with the clock (DVFS).
+	memLat := m.Params.MemLatencyCycles * m.clockScale() * busFactor * prefetchHide
+	memTerm := mpiL1 * missL2 * memLat / p.MLP
+
+	cpi := coreCPI + branch + tlb + l2Term + memTerm
+	minCPI := 1 / m.Params.PeakIssueIPC
+	if cpi < minCPI {
+		cpi = minCPI
+	}
+	return cpi
+}
+
+// stallFraction estimates the fraction of cycles an active core spends
+// stalled on memory — feeds both ResourceStalls and the power model.
+func (m *Machine) stallFraction(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64) float64 {
+	cpi := m.threadCPI(p, mpiL1, missL2, busFactor, 1)
+	memCPI := cpi - 1/p.BaseIPC
+	if memCPI < 0 {
+		memCPI = 0
+	}
+	f := memCPI / cpi
+	if f > 0.95 {
+		f = 0.95
+	}
+	return f
+}
+
+// eventCounts builds the aggregate ground-truth PMU counts for the phase.
+func (m *Machine) eventCounts(p *workload.PhaseProfile, pl topology.Placement, missL2 []float64, wallCycles, busUtil float64) pmu.Counts {
+	instr := p.Instructions
+	memRefs := instr * p.MemRefsPerInstr
+	l1Miss := memRefs * p.L1MissRate
+	// Average L2 miss rate across threads weighted evenly (threads do
+	// near-equal work).
+	var avgMiss float64
+	for _, mr := range missL2 {
+		avgMiss += mr
+	}
+	avgMiss /= float64(len(missL2))
+	l2Miss := l1Miss * avgMiss
+	storeFrac := 1 - p.LoadFraction
+	busTrans := l2Miss * (1 + p.StoreBandwidthBoost*storeFrac)
+
+	stall := m.stallFraction(p, p.MemRefsPerInstr*p.L1MissRate, avgMiss, 1)
+
+	return pmu.Counts{
+		pmu.Instructions:   instr,
+		pmu.Cycles:         wallCycles,
+		pmu.L1DReferences:  memRefs,
+		pmu.L1DMisses:      l1Miss,
+		pmu.L2References:   l1Miss,
+		pmu.L2Misses:       l2Miss,
+		pmu.BusTransMem:    busTrans,
+		pmu.BusDrdyClocks:  busUtil * wallCycles,
+		pmu.LoadsRetired:   memRefs * p.LoadFraction,
+		pmu.StoresRetired:  memRefs * storeFrac,
+		pmu.BranchesRet:    instr * p.BranchRate,
+		pmu.BranchMisses:   instr * p.BranchRate * p.BranchMissRate,
+		pmu.DTLBMisses:     memRefs * p.TLBMissRate,
+		pmu.ResourceStalls: stall * wallCycles,
+	}
+}
+
+// perturb applies run-to-run measurement noise to a result in place.
+func (m *Machine) perturb(r *Result) {
+	tf := m.noiseSrc.Multiplicative(m.timeSigma)
+	r.TimeSec *= tf
+	r.WallCycles *= tf
+	r.AggIPC /= tf
+	r.Activity.TimeSec = r.TimeSec
+	for e, v := range r.Counts {
+		if e == pmu.Instructions {
+			continue // retirement counts are exact
+		}
+		if e == pmu.Cycles {
+			r.Counts[e] = r.WallCycles
+			continue
+		}
+		r.Counts[e] = v * m.noiseSrc.Multiplicative(m.countSigma)
+	}
+}
+
+// MigrationPenalty models the cache-warmth cost of switching a phase from
+// placement `from` to `to`: threads landing on cores whose L2 group gained
+// occupancy must refill their working sets from memory. It returns the
+// extra execution time and the extra bus traffic of the refill, charged to
+// the first execution after a switch. This is the effect behind the paper's
+// observation that throttling saves no power on average: off-chip refill
+// traffic offsets idle-core savings.
+func (m *Machine) MigrationPenalty(p *workload.PhaseProfile, from, to topology.Placement) (extraSec, extraBusBytes float64) {
+	if placementEqual(from, to) {
+		return 0, 0
+	}
+	fromOcc := make(map[int]int)
+	for _, c := range from.Cores {
+		fromOcc[m.Topo.GroupOf(c)]++
+	}
+	var refillBytes float64
+	for _, c := range to.Cores {
+		g := m.Topo.GroupOf(c)
+		if fromOcc[g] > 0 {
+			fromOcc[g]--
+			continue // a warm thread context existed in this group
+		}
+		ws := math.Min(p.WorkingSetBytes, float64(m.Topo.L2BytesPerGroup))
+		// Refill plus displaced-line writebacks and coherence traffic.
+		refillBytes += 1.8 * ws
+	}
+	if refillBytes == 0 {
+		return 0, 0
+	}
+	lines := refillBytes / 64
+	cycles := lines * m.Params.MemLatencyCycles / math.Max(p.MLP, 1)
+	return cycles / m.Topo.FrequencyHz, refillBytes
+}
+
+// clockScale returns the effective frequency scale, treating the zero
+// value (machines built before WithFrequency existed, or zero structs) as
+// nominal.
+func (m *Machine) clockScale() float64 {
+	if m.freqScale <= 0 {
+		return 1
+	}
+	return m.freqScale
+}
+
+// responseFactor derives the deterministic per-(phase, placement) execution
+// perturbation from the phase fingerprint: a log-normal-ish factor with
+// relative sigma Params.ResponseSigma, identical on every run (it is part
+// of the machine's ground truth, not measurement noise). Single-thread
+// executions are unperturbed: the idiosyncrasies modelled here are
+// interactions with the co-location of threads.
+func (m *Machine) responseFactor(p *workload.PhaseProfile, pl topology.Placement) float64 {
+	if m.Params.ResponseSigma <= 0 || p.Fingerprint == "" || pl.Threads() <= 1 {
+		return 1
+	}
+	h := uint64(1469598103934665603)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	mix(p.Fingerprint)
+	mix("|")
+	mix(pl.Name)
+	// Map the hash to an approximately standard normal value by summing
+	// uniform draws (Irwin–Hall with n=4, variance 1/3 each → scale).
+	var z float64
+	for i := 0; i < 4; i++ {
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		u := float64(h%1_000_003) / 1_000_003.0
+		z += u - 0.5
+	}
+	z *= math.Sqrt(3) // var(sum of 4 U(-0.5,0.5)) = 1/3 → scale to 1
+	return math.Exp(m.Params.ResponseSigma * z)
+}
+
+func placementEqual(a, b topology.Placement) bool {
+	if len(a.Cores) != len(b.Cores) {
+		return false
+	}
+	for i := range a.Cores {
+		if a.Cores[i] != b.Cores[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// imbalanceFactor returns the ratio heaviest-thread-work / even-share for a
+// loop of `chunks` schedulable chunks on n threads (≥ 1; equals 1 for
+// perfectly divisible work or chunks ≤ 0).
+func imbalanceFactor(chunks, n int) float64 {
+	if chunks <= 0 || n <= 1 {
+		return 1
+	}
+	if chunks < n {
+		// Fewer chunks than threads: some threads idle entirely.
+		return float64(n) / float64(chunks)
+	}
+	heavy := (chunks + n - 1) / n
+	return float64(heavy) * float64(n) / float64(chunks)
+}
+
+// String identifies the machine.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{%s}", m.Topo.Name)
+}

@@ -1,0 +1,127 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(7)
+	b := New(7)
+	for i := 0; i < 100; i++ {
+		if a.Gaussian() != b.Gaussian() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestForkStability(t *testing.T) {
+	a := New(7)
+	// Consume some draws from one parent but not the other: forks must
+	// still agree.
+	for i := 0; i < 50; i++ {
+		a.Gaussian()
+	}
+	b := New(7)
+	fa := a.Fork("machine")
+	fb := b.Fork("machine")
+	for i := 0; i < 50; i++ {
+		if fa.Uniform(0, 1) != fb.Uniform(0, 1) {
+			t.Fatal("forks of equal (seed, id) diverged")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	s := New(7)
+	a := s.Fork("a")
+	b := s.Fork("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Gaussian() == b.Gaussian() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("distinct fork ids produced %d/100 equal draws", same)
+	}
+}
+
+func TestMultiplicativeZeroSigma(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10; i++ {
+		if got := s.Multiplicative(0); got != 1 {
+			t.Fatalf("Multiplicative(0) = %g, want 1", got)
+		}
+	}
+}
+
+func TestMultiplicativePositiveAndCentered(t *testing.T) {
+	s := New(99)
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := s.Multiplicative(0.1)
+		if v <= 0 {
+			t.Fatalf("Multiplicative produced non-positive %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("mean of Multiplicative(0.1) = %g, want ≈ 1", mean)
+	}
+}
+
+func TestMultiplicativeSigmaScales(t *testing.T) {
+	varOf := func(sigma float64) float64 {
+		s := New(5)
+		var sum, sum2 float64
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := s.Multiplicative(sigma)
+			sum += v
+			sum2 += v * v
+		}
+		m := sum / n
+		return sum2/n - m*m
+	}
+	small, large := varOf(0.02), varOf(0.2)
+	if small >= large {
+		t.Errorf("variance did not grow with sigma: %g vs %g", small, large)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Uniform(2, 5)
+			if v < 2 || v >= 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermAndIntn(t *testing.T) {
+	s := New(3)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 100; i++ {
+		if v := s.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package omp is a small OpenMP-like runtime for Go: a persistent worker
+// team executing parallel loops and regions with static or dynamic
+// scheduling, a reusable barrier, and a runtime-adjustable thread count —
+// the knob ACTOR's live throttling turns between phases.
+//
+// It is the live-execution counterpart of the simulated platform: the same
+// instrumentation API (internal/core's LiveTuner) drives either. Note Go
+// cannot pin goroutines to specific cores portably, so placement control
+// (the paper's 2a/2b distinction) exists only in the simulator; live
+// throttling controls concurrency degree via team size and GOMAXPROCS.
+package omp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Team is a persistent group of workers executing parallel work items. The
+// zero value is not usable; construct with NewTeam.
+type Team struct {
+	mu       sync.Mutex
+	threads  int
+	maxProcs bool
+}
+
+// NewTeam returns a team of n workers (n ≤ 0 selects runtime.NumCPU()).
+// When adjustGOMAXPROCS is true, SetThreads also adjusts GOMAXPROCS so the
+// Go scheduler's parallelism follows the team size — the closest portable
+// analogue to leaving cores idle.
+func NewTeam(n int, adjustGOMAXPROCS bool) *Team {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	t := &Team{threads: n, maxProcs: adjustGOMAXPROCS}
+	if adjustGOMAXPROCS {
+		runtime.GOMAXPROCS(n)
+	}
+	return t
+}
+
+// SetThreads changes the concurrency level used by subsequent parallel
+// constructs. It is safe to call between (not within) parallel regions.
+func (t *Team) SetThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threads = n
+	if t.maxProcs {
+		runtime.GOMAXPROCS(n)
+	}
+}
+
+// Threads returns the current concurrency level.
+func (t *Team) Threads() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.threads
+}
+
+// ParallelRegion runs fn concurrently on every team member, passing the
+// member id and the team size, and returns when all members finish — an
+// `omp parallel` block.
+func (t *Team) ParallelRegion(fn func(tid, nthreads int)) {
+	n := t.Threads()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for tid := 0; tid < n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			fn(tid, n)
+		}(tid)
+	}
+	wg.Wait()
+}
+
+// ParallelFor executes body(i) for i in [0, n) with static scheduling:
+// the iteration space is split into one contiguous block per thread —
+// `omp parallel for schedule(static)`.
+func (t *Team) ParallelFor(n int, body func(i int)) {
+	t.ParallelBlocks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ParallelBlocks statically partitions [0, n) into one block per thread and
+// runs body(lo, hi) on each — the bulk form of ParallelFor, avoiding
+// per-iteration closure overhead for inner loops.
+func (t *Team) ParallelBlocks(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	nt := t.Threads()
+	if nt > n {
+		nt = n
+	}
+	chunk := (n + nt - 1) / nt
+	var wg sync.WaitGroup
+	for tid := 0; tid < nt; tid++ {
+		lo := tid * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForDynamic executes body over [0, n) in chunks claimed from a
+// shared counter — `omp parallel for schedule(dynamic, chunk)`, which
+// balances irregular iteration costs.
+func (t *Team) ParallelForDynamic(n, chunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nt := t.Threads()
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(nt)
+	for tid := 0; tid < nt; tid++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce runs body(tid, nthreads) on every member and combines the returned
+// partials with combine — an `omp parallel reduction`.
+func (t *Team) Reduce(body func(tid, nthreads int) float64, combine func(a, b float64) float64) float64 {
+	n := t.Threads()
+	parts := make([]float64, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for tid := 0; tid < n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			parts[tid] = body(tid, n)
+		}(tid)
+	}
+	wg.Wait()
+	acc := parts[0]
+	for _, p := range parts[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Barrier is a reusable cyclic barrier for nthreads participants, for
+// wavefront codes that synchronise inside a parallel region.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for the given number of participants.
+func NewBarrier(parties int) (*Barrier, error) {
+	if parties < 1 {
+		return nil, fmt.Errorf("omp: barrier parties = %d", parties)
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Wait blocks until all participants arrive, then releases them together.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

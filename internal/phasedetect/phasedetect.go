@@ -1,0 +1,179 @@
+// Package phasedetect implements online phase-change detection over
+// hardware-counter rate streams. ACTOR as published relies on user-inserted
+// instrumentation to delimit phases; this package provides the natural
+// extension — detecting phase boundaries automatically from the same event
+// rates the predictor already consumes (in the spirit of SimPoint-style
+// phase analysis, the paper's reference [16]).
+//
+// The detector keeps an exponentially weighted estimate of the current
+// phase's feature centroid and per-feature variability; an observation
+// whose normalised distance from the centroid exceeds the threshold for
+// MinRun consecutive samples opens a new phase. Hysteresis (MinRun) makes
+// the detector robust to single-sample noise.
+package phasedetect
+
+import (
+	"errors"
+	"math"
+
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// Events are the features watched for phase changes, in order.
+	Events []pmu.Event
+	// Threshold is the normalised distance (in pooled standard
+	// deviations per feature) that signals a candidate change. Typical
+	// values 2–4.
+	Threshold float64
+	// MinRun is how many consecutive outlier samples must be seen before
+	// a phase change is declared (hysteresis against noise).
+	MinRun int
+	// Alpha is the EWMA weight for the running centroid/variance
+	// (0 < Alpha ≤ 1; smaller = smoother).
+	Alpha float64
+	// FloorRel is the relative variability floor: each feature's standard
+	// deviation is clamped below at FloorRel × |centroid| so near-constant
+	// features do not make the detector hypersensitive.
+	FloorRel float64
+}
+
+// DefaultConfig watches IPC plus the L2/bus events with a 3-sigma
+// threshold, 2-sample hysteresis and a 0.2 smoothing weight.
+func DefaultConfig() Config {
+	return Config{
+		Events:    []pmu.Event{pmu.L2Misses, pmu.BusTransMem, pmu.L1DMisses},
+		Threshold: 3,
+		MinRun:    2,
+		Alpha:     0.2,
+		FloorRel:  0.05,
+	}
+}
+
+// Detector is the online phase detector. Create with New; feed one
+// observation per timestep with Observe.
+type Detector struct {
+	cfg Config
+
+	phase    int
+	started  bool
+	mean     []float64
+	varEst   []float64
+	outliers int
+	samples  int
+}
+
+// New validates the configuration and returns a detector in phase 0.
+func New(cfg Config) (*Detector, error) {
+	if len(cfg.Events) == 0 {
+		return nil, errors.New("phasedetect: no events configured")
+	}
+	if cfg.Threshold <= 0 {
+		return nil, errors.New("phasedetect: threshold must be positive")
+	}
+	if cfg.MinRun < 1 {
+		return nil, errors.New("phasedetect: MinRun must be ≥ 1")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, errors.New("phasedetect: Alpha must be in (0, 1]")
+	}
+	if cfg.FloorRel < 0 {
+		return nil, errors.New("phasedetect: FloorRel must be ≥ 0")
+	}
+	d := len(cfg.Events) + 1 // + IPC
+	return &Detector{
+		cfg:    cfg,
+		mean:   make([]float64, d),
+		varEst: make([]float64, d),
+	}, nil
+}
+
+// features extracts the watched vector: [IPC, configured event rates...].
+func (d *Detector) features(r pmu.Rates) []float64 {
+	return r.Vector(d.cfg.Events)
+}
+
+// Observe ingests one timestep's rates and returns the current phase id
+// and whether this observation opened a new phase.
+func (d *Detector) Observe(r pmu.Rates) (phase int, changed bool) {
+	x := d.features(r)
+	d.samples++
+	if !d.started {
+		copy(d.mean, x)
+		d.started = true
+		return d.phase, false
+	}
+
+	dist := d.distance(x)
+	if dist > d.cfg.Threshold {
+		d.outliers++
+		if d.outliers >= d.cfg.MinRun {
+			// New phase: reset statistics at the outlier point.
+			d.phase++
+			copy(d.mean, x)
+			for i := range d.varEst {
+				d.varEst[i] = 0
+			}
+			d.outliers = 0
+			return d.phase, true
+		}
+		// Candidate outlier: do not pollute the current phase's stats.
+		return d.phase, false
+	}
+	d.outliers = 0
+	d.update(x)
+	return d.phase, false
+}
+
+// distance computes the mean per-feature deviation in (floored) standard
+// deviations.
+func (d *Detector) distance(x []float64) float64 {
+	var sum float64
+	for i, v := range x {
+		sd := math.Sqrt(d.varEst[i])
+		floor := d.cfg.FloorRel * math.Abs(d.mean[i])
+		if sd < floor {
+			sd = floor
+		}
+		if sd == 0 {
+			sd = 1e-12
+		}
+		sum += math.Abs(v-d.mean[i]) / sd
+	}
+	return sum / float64(len(x))
+}
+
+// update folds an in-phase observation into the running statistics.
+func (d *Detector) update(x []float64) {
+	a := d.cfg.Alpha
+	for i, v := range x {
+		delta := v - d.mean[i]
+		d.mean[i] += a * delta
+		d.varEst[i] = (1 - a) * (d.varEst[i] + a*delta*delta)
+	}
+}
+
+// Rebase clears the running statistics without opening a new phase: the
+// next observation becomes the phase's new centroid. Callers use this when
+// they changed the execution configuration themselves — the rate shift that
+// follows is self-inflicted, not a program phase change.
+func (d *Detector) Rebase() {
+	d.started = false
+	d.outliers = 0
+	for i := range d.varEst {
+		d.varEst[i] = 0
+	}
+}
+
+// Phase returns the current phase id (0-based).
+func (d *Detector) Phase() int { return d.phase }
+
+// Samples returns the number of observations ingested.
+func (d *Detector) Samples() int { return d.samples }
+
+// Centroid returns a copy of the current phase's feature centroid
+// ([IPC, events...]).
+func (d *Detector) Centroid() []float64 {
+	return append([]float64(nil), d.mean...)
+}

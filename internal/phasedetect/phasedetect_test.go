@@ -1,0 +1,181 @@
+package phasedetect
+
+import (
+	"testing"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+func TestConfigValidation(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Events = nil },
+		func(c *Config) { c.Threshold = 0 },
+		func(c *Config) { c.MinRun = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Alpha = 1.5 },
+		func(c *Config) { c.FloorRel = -1 },
+	}
+	for i, mutate := range cases {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+// synthetic rates around a base level with relative noise.
+func rates(src *noise.Source, ipc, l2, bus, l1, sigma float64) pmu.Rates {
+	return pmu.Rates{
+		pmu.Instructions: ipc * src.Multiplicative(sigma),
+		pmu.L2Misses:     l2 * src.Multiplicative(sigma),
+		pmu.BusTransMem:  bus * src.Multiplicative(sigma),
+		pmu.L1DMisses:    l1 * src.Multiplicative(sigma),
+	}
+}
+
+func TestStableStreamNoFalsePositives(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.New(1)
+	changes := 0
+	for i := 0; i < 500; i++ {
+		_, changed := d.Observe(rates(src, 1.2, 0.004, 0.005, 0.02, 0.05))
+		if changed {
+			changes++
+		}
+	}
+	if changes > 2 {
+		t.Errorf("stable stream produced %d phase changes", changes)
+	}
+}
+
+func TestAbruptChangeDetected(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.New(2)
+	for i := 0; i < 50; i++ {
+		d.Observe(rates(src, 1.2, 0.004, 0.005, 0.02, 0.04))
+	}
+	if d.Phase() != 0 {
+		t.Fatalf("premature phase change during warmup: phase %d", d.Phase())
+	}
+	// Radically different behaviour: memory-bound phase.
+	detectedAt := -1
+	for i := 0; i < 10; i++ {
+		_, changed := d.Observe(rates(src, 0.3, 0.05, 0.06, 0.25, 0.04))
+		if changed {
+			detectedAt = i
+			break
+		}
+	}
+	if detectedAt < 0 {
+		t.Fatal("10× behaviour shift never detected")
+	}
+	if detectedAt > 4 {
+		t.Errorf("change detected only after %d samples", detectedAt+1)
+	}
+	if d.Phase() != 1 {
+		t.Errorf("phase id = %d, want 1", d.Phase())
+	}
+}
+
+func TestHysteresisSuppressesSingleOutlier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinRun = 3
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.New(3)
+	for i := 0; i < 50; i++ {
+		d.Observe(rates(src, 1.2, 0.004, 0.005, 0.02, 0.04))
+	}
+	// Two isolated glitches (fewer than MinRun) must not flip the phase.
+	d.Observe(rates(src, 0.2, 0.08, 0.09, 0.3, 0))
+	d.Observe(rates(src, 0.2, 0.08, 0.09, 0.3, 0))
+	if _, changed := d.Observe(rates(src, 1.2, 0.004, 0.005, 0.02, 0.04)); changed {
+		t.Error("return to baseline flagged as change")
+	}
+	if d.Phase() != 0 {
+		t.Errorf("glitches below MinRun changed the phase to %d", d.Phase())
+	}
+}
+
+func TestMultiplePhases(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := noise.New(4)
+	levels := []struct{ ipc, l2 float64 }{
+		{1.5, 0.002}, {0.4, 0.05}, {2.0, 0.001}, {0.6, 0.03},
+	}
+	total := 0
+	for _, lv := range levels {
+		for i := 0; i < 40; i++ {
+			_, changed := d.Observe(rates(src, lv.ipc, lv.l2, lv.l2*1.2, lv.l2*4, 0.04))
+			if changed {
+				total++
+			}
+		}
+	}
+	if total != len(levels)-1 {
+		t.Errorf("detected %d transitions, want %d", total, len(levels)-1)
+	}
+}
+
+func TestOnSimulatedBenchmarkPhases(t *testing.T) {
+	// End-to-end: stream the per-phase counter rates of a real benchmark
+	// through the detector; it should see most transitions between
+	// distinct phases of SP.
+	m, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := m.WithNoise(noise.New(5), 0.02, 0.05)
+	cfg4, _ := topology.ConfigByName("4")
+	sp, _ := npb.ByName("SP")
+
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	transitions := 0
+	// Each phase produces 30 consecutive samples (as if it ran for many
+	// timesteps).
+	for pi := range sp.Phases {
+		for i := 0; i < 30; i++ {
+			res := noisy.RunPhase(&sp.Phases[pi], sp.Idiosyncrasy, cfg4)
+			_, changed := d.Observe(res.Counts.Rates())
+			if changed {
+				transitions++
+			}
+		}
+	}
+	// 12 phases → 11 true boundaries; several adjacent SP phases are
+	// near-identical (x_solve vs y_solve), so require at least half.
+	if transitions < 6 {
+		t.Errorf("detected %d transitions across SP's phases, want ≥ 6", transitions)
+	}
+	if transitions > 30 {
+		t.Errorf("detector thrashing: %d transitions", transitions)
+	}
+	if d.Samples() != 12*30 {
+		t.Errorf("samples = %d", d.Samples())
+	}
+	if len(d.Centroid()) != len(DefaultConfig().Events)+1 {
+		t.Errorf("centroid dimension %d", len(d.Centroid()))
+	}
+}

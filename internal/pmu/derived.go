@@ -1,0 +1,76 @@
+package pmu
+
+// Derived metrics over event rates: the quantities analysts (and the
+// paper's §III discussion) actually reason about — miss ratios, memory
+// boundedness, bandwidth demand. They tolerate partially-measured rate
+// maps (rotation budgets may omit events), returning ok=false when the
+// inputs are absent.
+
+// DerivedMetrics summarises a rate vector in architectural terms.
+type DerivedMetrics struct {
+	// IPC is instructions per cycle (aggregate over the sampled
+	// configuration).
+	IPC float64
+	// L1MissRatio is L1D misses per L1D reference.
+	L1MissRatio float64
+	// L2MissRatio is L2 misses per L2 reference.
+	L2MissRatio float64
+	// MPKI is L2 misses per kilo-instruction, the classic cache metric.
+	MPKI float64
+	// BusBytesPerCycle estimates FSB demand (64-byte lines per bus
+	// transaction).
+	BusBytesPerCycle float64
+	// StallFraction is the share of cycles lost to resource stalls.
+	StallFraction float64
+	// MemoryBound classifies the sample as bandwidth/latency dominated
+	// (heuristic: high MPKI together with bus occupancy).
+	MemoryBound bool
+}
+
+// Derive computes the metrics available from the given rates. Missing
+// inputs leave the corresponding fields zero; ok is false when not even
+// IPC is available.
+func Derive(r Rates) (m DerivedMetrics, ok bool) {
+	ipc, ok := r[Instructions]
+	if !ok || ipc <= 0 {
+		return DerivedMetrics{}, false
+	}
+	m.IPC = ipc
+	if refs, okR := r[L1DReferences]; okR && refs > 0 {
+		if miss, okM := r[L1DMisses]; okM {
+			m.L1MissRatio = clampRatio(miss / refs)
+		}
+	}
+	if refs, okR := r[L2References]; okR && refs > 0 {
+		if miss, okM := r[L2Misses]; okM {
+			m.L2MissRatio = clampRatio(miss / refs)
+		}
+	}
+	if miss, okM := r[L2Misses]; okM {
+		m.MPKI = miss / ipc * 1000
+	}
+	if bus, okB := r[BusTransMem]; okB {
+		m.BusBytesPerCycle = bus * 64
+	}
+	if st, okS := r[ResourceStalls]; okS {
+		m.StallFraction = clampRatio(st)
+	}
+	m.MemoryBound = m.MPKI > 5 && (m.BusBytesPerCycle > 0.5 || m.StallFraction > 0.5)
+	return m, true
+}
+
+func clampRatio(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// BandwidthBytesPerSec converts BusBytesPerCycle into bytes/second at the
+// given clock frequency.
+func (m DerivedMetrics) BandwidthBytesPerSec(freqHz float64) float64 {
+	return m.BusBytesPerCycle * freqHz
+}

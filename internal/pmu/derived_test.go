@@ -1,0 +1,71 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriveBasics(t *testing.T) {
+	r := Rates{
+		Instructions:   1.5,
+		L1DReferences:  0.45,
+		L1DMisses:      0.045,
+		L2References:   0.045,
+		L2Misses:       0.009,
+		BusTransMem:    0.009,
+		ResourceStalls: 0.4,
+	}
+	m, ok := Derive(r)
+	if !ok {
+		t.Fatal("derive failed")
+	}
+	if m.IPC != 1.5 {
+		t.Errorf("IPC = %g", m.IPC)
+	}
+	if math.Abs(m.L1MissRatio-0.1) > 1e-12 {
+		t.Errorf("L1MissRatio = %g, want 0.1", m.L1MissRatio)
+	}
+	if math.Abs(m.L2MissRatio-0.2) > 1e-12 {
+		t.Errorf("L2MissRatio = %g, want 0.2", m.L2MissRatio)
+	}
+	if math.Abs(m.MPKI-6) > 1e-9 {
+		t.Errorf("MPKI = %g, want 6", m.MPKI)
+	}
+	if math.Abs(m.BusBytesPerCycle-0.576) > 1e-12 {
+		t.Errorf("BusBytesPerCycle = %g", m.BusBytesPerCycle)
+	}
+	if m.StallFraction != 0.4 {
+		t.Errorf("StallFraction = %g", m.StallFraction)
+	}
+	if !m.MemoryBound {
+		t.Error("high-MPKI high-bus sample not flagged memory bound")
+	}
+	if bw := m.BandwidthBytesPerSec(2.4e9); math.Abs(bw-0.576*2.4e9) > 1 {
+		t.Errorf("bandwidth = %g", bw)
+	}
+}
+
+func TestDeriveMissingInputs(t *testing.T) {
+	if _, ok := Derive(Rates{}); ok {
+		t.Error("empty rates derived")
+	}
+	m, ok := Derive(Rates{Instructions: 2})
+	if !ok || m.IPC != 2 {
+		t.Errorf("IPC-only derive = %+v (%v)", m, ok)
+	}
+	if m.MemoryBound {
+		t.Error("IPC-only sample flagged memory bound")
+	}
+}
+
+func TestDeriveClampsNoisyRatios(t *testing.T) {
+	// Noisy counters can make misses exceed references; ratios clamp.
+	m, ok := Derive(Rates{
+		Instructions:  1,
+		L1DReferences: 0.1,
+		L1DMisses:     0.2,
+	})
+	if !ok || m.L1MissRatio != 1 {
+		t.Errorf("L1MissRatio = %g, want clamped 1", m.L1MissRatio)
+	}
+}

@@ -1,0 +1,155 @@
+// Package pmu models the hardware performance monitoring unit of the
+// paper's platform: a Core-2-class PMU that can program only **two** event
+// counters simultaneously, forcing ACTOR to rotate event pairs across
+// timesteps to collect its twelve-event feature vector (the paper's
+// "collection across multiple timesteps").
+//
+// The package provides the event catalogue, the programmable counter file,
+// the rotation scheduler with the paper's 20%-of-iterations sampling budget,
+// and the reduced event sets used for short-iteration applications (FT, IS,
+// MG in the paper).
+package pmu
+
+import "fmt"
+
+// Event identifies a hardware performance event.
+type Event int
+
+// The event catalogue mirrors the Core-2 events PAPI 3.5 exposes for cache
+// and bus behaviour — the "collection that represent performance-critical
+// resources" the paper selects — plus the fixed instruction/cycle counts
+// needed to form rates and IPC.
+const (
+	// Instructions and Cycles are conceptually fixed counters: retired
+	// instruction count and unhalted core cycles. They are always
+	// collected (the time-stamp counter and retirement counters are free)
+	// and every other event is normalised by Cycles to form a rate.
+	Instructions Event = iota
+	Cycles
+
+	// Programmable events, two at a time.
+	L1DReferences  // L1 data cache references (loads+stores reaching L1D)
+	L1DMisses      // L1D replacement fills (misses to the L2 group)
+	L2References   // L2 requests from this core
+	L2Misses       // L2 lines brought in from the bus (capacity+cold)
+	BusTransMem    // memory transactions on the FSB attributable to core
+	BusDrdyClocks  // bus data-ready clocks: occupancy of the FSB
+	LoadsRetired   // retired load instructions
+	StoresRetired  // retired store instructions
+	BranchesRet    // retired branch instructions
+	BranchMisses   // mispredicted branches
+	DTLBMisses     // data TLB misses
+	ResourceStalls // cycles stalled for ROB/RS/store-buffer resources
+
+	numEvents
+)
+
+// NumEvents is the total number of defined events, including the fixed
+// Instructions and Cycles counters.
+const NumEvents = int(numEvents)
+
+var eventNames = [...]string{
+	Instructions:   "INST_RETIRED",
+	Cycles:         "CPU_CLK_UNHALTED",
+	L1DReferences:  "L1D_ALL_REF",
+	L1DMisses:      "L1D_REPL",
+	L2References:   "L2_RQSTS",
+	L2Misses:       "L2_LINES_IN",
+	BusTransMem:    "BUS_TRANS_MEM",
+	BusDrdyClocks:  "BUS_DRDY_CLOCKS",
+	LoadsRetired:   "INST_RETIRED_LOADS",
+	StoresRetired:  "INST_RETIRED_STORES",
+	BranchesRet:    "BR_INST_RETIRED",
+	BranchMisses:   "BR_MISSP_RETIRED",
+	DTLBMisses:     "DTLB_MISSES",
+	ResourceStalls: "RESOURCE_STALLS",
+}
+
+// String returns the PAPI-style mnemonic of the event.
+func (e Event) String() string {
+	if e < 0 || int(e) >= NumEvents {
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// EventByName returns the event with the given PAPI-style mnemonic.
+func EventByName(name string) (Event, bool) {
+	for e := Event(0); int(e) < NumEvents; e++ {
+		if eventNames[e] == name {
+			return e, true
+		}
+	}
+	return 0, false
+}
+
+// Programmable reports whether the event needs one of the two programmable
+// counters (true for everything except Instructions and Cycles).
+func (e Event) Programmable() bool {
+	return e != Instructions && e != Cycles
+}
+
+// FullEventSet returns the paper's twelve programmable cache/bus events in
+// priority order (most informative first, as used when the sampling budget
+// forces truncation).
+func FullEventSet() []Event {
+	return []Event{
+		L2Misses, BusTransMem, L1DMisses, L2References,
+		BusDrdyClocks, ResourceStalls, LoadsRetired, StoresRetired,
+		DTLBMisses, BranchesRet, BranchMisses, L1DReferences,
+	}
+}
+
+// ReducedEventSet returns the truncated event list fitting within
+// maxPairs rotation rounds (two events per round). The paper uses reduced
+// sets for applications with few iterations (FT, IS, MG) so that sampling
+// stays under 20% of execution.
+func ReducedEventSet(maxPairs int) []Event {
+	full := FullEventSet()
+	n := maxPairs * 2
+	if n >= len(full) {
+		return full
+	}
+	if n < 2 {
+		n = 2
+	}
+	return full[:n]
+}
+
+// Counts is a single sampling observation: raw event counts accumulated
+// over one measured interval.
+type Counts map[Event]float64
+
+// Rates converts raw counts into per-cycle event rates, the feature form
+// the ANN consumes. Instructions become IPC; every programmable event is
+// divided by the observed cycle count. A zero cycle count yields nil.
+func (c Counts) Rates() Rates {
+	cyc := c[Cycles]
+	if cyc <= 0 {
+		return nil
+	}
+	r := make(Rates, len(c))
+	for e, v := range c {
+		if e == Cycles {
+			continue
+		}
+		r[e] = v / cyc
+	}
+	return r
+}
+
+// Rates maps events to per-cycle rates. Rates[Instructions] is IPC.
+type Rates map[Event]float64
+
+// Vector flattens the rates into a feature vector ordered as
+// [IPC, events...] for the given programmable event list. Missing events
+// yield zeros (the model treats unmeasured features as average after
+// normalisation).
+func (r Rates) Vector(events []Event) []float64 {
+	v := make([]float64, 1+len(events))
+	v[0] = r[Instructions]
+	for i, e := range events {
+		v[1+i] = r[e]
+	}
+	return v
+}

@@ -1,0 +1,209 @@
+package pmu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CounterFile models the PMU's programmable counter registers. Width is the
+// number of events that can be counted simultaneously (2 on the paper's
+// platform). Instructions and Cycles are fixed counters and always
+// available.
+type CounterFile struct {
+	width      int
+	programmed []Event
+}
+
+// NewCounterFile returns a counter file of the given width.
+func NewCounterFile(width int) (*CounterFile, error) {
+	if width < 1 {
+		return nil, errors.New("pmu: counter width must be ≥ 1")
+	}
+	return &CounterFile{width: width}, nil
+}
+
+// Width returns the number of simultaneously programmable counters.
+func (f *CounterFile) Width() int { return f.width }
+
+// Program selects the events counted during the next interval. It rejects
+// more events than the hardware has counters for, duplicate events, and
+// fixed events (which need no programming).
+func (f *CounterFile) Program(events ...Event) error {
+	if len(events) > f.width {
+		return fmt.Errorf("pmu: %d events exceed counter width %d", len(events), f.width)
+	}
+	seen := make(map[Event]bool, len(events))
+	for _, e := range events {
+		if !e.Programmable() {
+			return fmt.Errorf("pmu: %v is a fixed counter", e)
+		}
+		if seen[e] {
+			return fmt.Errorf("pmu: duplicate event %v", e)
+		}
+		seen[e] = true
+	}
+	f.programmed = append(f.programmed[:0], events...)
+	return nil
+}
+
+// Programmed returns the currently selected events.
+func (f *CounterFile) Programmed() []Event {
+	return append([]Event(nil), f.programmed...)
+}
+
+// Read extracts the counts visible after an interval: the fixed counters
+// plus only the programmed events, taken from the full ground-truth counts
+// the machine model produced. This is the "you only see what you
+// programmed" constraint that forces rotation.
+func (f *CounterFile) Read(truth Counts) Counts {
+	out := Counts{
+		Instructions: truth[Instructions],
+		Cycles:       truth[Cycles],
+	}
+	for _, e := range f.programmed {
+		out[e] = truth[e]
+	}
+	return out
+}
+
+// RotationPlan is a schedule of event pairs across consecutive timesteps,
+// respecting the counter width and the sampling budget.
+type RotationPlan struct {
+	// Rounds[i] lists the events programmed during timestep i.
+	Rounds [][]Event
+	// Events is the flattened, deduplicated event list the plan covers.
+	Events []Event
+}
+
+// NumRounds returns how many sampled timesteps the plan needs.
+func (p *RotationPlan) NumRounds() int { return len(p.Rounds) }
+
+// PlanRotation builds a rotation schedule measuring the requested events on
+// a counter file of the given width, subject to a budget of at most
+// maxRounds sampled timesteps (≤ 0 means unlimited). When the budget is too
+// small for every event, lower-priority events (later in the list) are
+// dropped — the paper's "reduced number of events" fallback.
+func PlanRotation(events []Event, width, maxRounds int) (*RotationPlan, error) {
+	if width < 1 {
+		return nil, errors.New("pmu: width must be ≥ 1")
+	}
+	var prog []Event
+	seen := make(map[Event]bool)
+	for _, e := range events {
+		if !e.Programmable() {
+			continue // fixed counters are always collected
+		}
+		if seen[e] {
+			return nil, fmt.Errorf("pmu: duplicate event %v in rotation request", e)
+		}
+		seen[e] = true
+		prog = append(prog, e)
+	}
+	need := (len(prog) + width - 1) / width
+	if maxRounds > 0 && need > maxRounds {
+		prog = prog[:maxRounds*width]
+		need = maxRounds
+	}
+	if len(prog) == 0 {
+		// Still one round to measure IPC from the fixed counters.
+		return &RotationPlan{Rounds: [][]Event{{}}, Events: nil}, nil
+	}
+	plan := &RotationPlan{Events: append([]Event(nil), prog...)}
+	for i := 0; i < need; i++ {
+		lo, hi := i*width, (i+1)*width
+		if hi > len(prog) {
+			hi = len(prog)
+		}
+		plan.Rounds = append(plan.Rounds, append([]Event(nil), prog[lo:hi]...))
+	}
+	return plan, nil
+}
+
+// Sampler drives a rotation plan over consecutive observed timesteps and
+// accumulates per-cycle rates. Each call to Observe consumes the
+// ground-truth counts of one timestep at the sampling configuration.
+type Sampler struct {
+	file    *CounterFile
+	plan    *RotationPlan
+	round   int
+	summed  map[Event]float64 // sum of per-cycle rates per event
+	nSeen   map[Event]int     // observations per event
+	ipcSum  float64
+	ipcSeen int
+}
+
+// NewSampler builds a sampler for the plan on the counter file.
+func NewSampler(file *CounterFile, plan *RotationPlan) *Sampler {
+	return &Sampler{
+		file:   file,
+		plan:   plan,
+		summed: make(map[Event]float64),
+		nSeen:  make(map[Event]int),
+	}
+}
+
+// Done reports whether the rotation completed a full cycle.
+func (s *Sampler) Done() bool { return s.round >= len(s.plan.Rounds) }
+
+// RoundsRemaining returns how many more timesteps must be observed.
+func (s *Sampler) RoundsRemaining() int {
+	r := len(s.plan.Rounds) - s.round
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Observe ingests one timestep's ground-truth counts. It programs the
+// counter file for the current round, reads back the visible counts, and
+// accumulates rates. Observations after the plan completes are ignored.
+func (s *Sampler) Observe(truth Counts) error {
+	if s.Done() {
+		return nil
+	}
+	if err := s.file.Program(s.plan.Rounds[s.round]...); err != nil {
+		return err
+	}
+	visible := s.file.Read(truth)
+	rates := visible.Rates()
+	if rates == nil {
+		return errors.New("pmu: observation with zero cycles")
+	}
+	s.ipcSum += rates[Instructions]
+	s.ipcSeen++
+	for _, e := range s.plan.Rounds[s.round] {
+		s.summed[e] += rates[e]
+		s.nSeen[e]++
+	}
+	s.round++
+	return nil
+}
+
+// Rates returns the averaged per-cycle rates across the completed rounds,
+// with Rates[Instructions] the mean sampled IPC. Unmeasured events are
+// absent from the map.
+func (s *Sampler) Rates() Rates {
+	r := make(Rates, len(s.summed)+1)
+	if s.ipcSeen > 0 {
+		r[Instructions] = s.ipcSum / float64(s.ipcSeen)
+	}
+	for e, sum := range s.summed {
+		r[e] = sum / float64(s.nSeen[e])
+	}
+	return r
+}
+
+// SamplingBudget computes the maximum number of sampled timesteps allowed
+// for an application with the given iteration count under the paper's rule
+// that monitoring may consume at most maxFraction (0.20) of execution.
+// At least one round is always allowed.
+func SamplingBudget(iterations int, maxFraction float64) int {
+	if iterations < 1 {
+		return 1
+	}
+	b := int(maxFraction * float64(iterations))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+// Package report renders the experiment harness output: fixed-width ASCII
+// tables and simple series listings matching the rows and columns of the
+// paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a float64, which uses %.3f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", v))
+		case string:
+			row = append(row, v)
+		default:
+			row = append(row, fmt.Sprintf("%v", v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Section writes a titled separator for multi-part harness output.
+func Section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n\n", title)
+}
+
+// KV writes an aligned key/value line, used for headline scalars such as
+// "median prediction error".
+func KV(w io.Writer, key string, format string, args ...interface{}) {
+	fmt.Fprintf(w, "  %-44s %s\n", key+":", fmt.Sprintf(format, args...))
+}

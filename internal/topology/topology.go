@@ -1,0 +1,301 @@
+// Package topology models processor topologies — cores, shared-cache groups
+// and the threading configurations (thread count × placement) that the ACTOR
+// runtime chooses among.
+//
+// The reference machine is the Intel Xeon QX6600 used in the paper: four
+// cores arranged as two dual-core dies on one package, each die pair sharing
+// a 4 MB L2 cache, connected to memory over a 1066 MHz front-side bus. The
+// package also supports synthesising larger hypothetical machines (see
+// Manycore) for the paper's "future many-core" discussion.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CoreID identifies a physical core on the machine, numbered from zero.
+type CoreID int
+
+// Topology describes the cores of a machine and how they share caches.
+type Topology struct {
+	// Name is a human-readable machine name, e.g. "Intel Xeon QX6600".
+	Name string
+	// NumCores is the total number of physical cores.
+	NumCores int
+	// L2Groups partitions the cores into groups that share a last-level
+	// cache. Every core appears in exactly one group.
+	L2Groups [][]CoreID
+	// L2BytesPerGroup is the capacity of each shared L2 cache in bytes.
+	L2BytesPerGroup int64
+	// L1BytesPerCore is the capacity of each private L1 data cache in bytes.
+	L1BytesPerCore int64
+	// FrequencyHz is the core clock frequency.
+	FrequencyHz float64
+	// BusBandwidth is the front-side bus bandwidth in bytes per second.
+	BusBandwidth float64
+}
+
+// QuadCoreXeon returns the topology of the paper's experimental platform:
+// an Intel Xeon QX6600 with two tightly coupled core pairs, 4 MB of L2 per
+// pair, 32 KB L1D per core, a 2.4 GHz clock, and a 1066 MT/s front-side bus
+// (8.5 GB/s peak).
+func QuadCoreXeon() *Topology {
+	return &Topology{
+		Name:            "Intel Xeon QX6600 (quad-core)",
+		NumCores:        4,
+		L2Groups:        [][]CoreID{{0, 1}, {2, 3}},
+		L2BytesPerGroup: 4 << 20,
+		L1BytesPerCore:  32 << 10,
+		FrequencyHz:     2.4e9,
+		BusBandwidth:    8.5e9,
+	}
+}
+
+// Manycore synthesises a hypothetical future machine with the given number
+// of cores grouped into shared-L2 pairs of the given size. Per-core cache
+// capacity shrinks relative to QX6600 to reflect the reduced
+// compute-to-cache ratio the paper predicts for many-core parts.
+func Manycore(cores, groupSize int) *Topology {
+	if cores <= 0 {
+		panic("topology: Manycore needs at least one core")
+	}
+	if groupSize <= 0 || cores%groupSize != 0 {
+		panic(fmt.Sprintf("topology: %d cores not divisible into groups of %d", cores, groupSize))
+	}
+	groups := make([][]CoreID, 0, cores/groupSize)
+	for g := 0; g < cores/groupSize; g++ {
+		grp := make([]CoreID, groupSize)
+		for i := range grp {
+			grp[i] = CoreID(g*groupSize + i)
+		}
+		groups = append(groups, grp)
+	}
+	return &Topology{
+		Name:            fmt.Sprintf("synthetic %d-core (L2 shared by %d)", cores, groupSize),
+		NumCores:        cores,
+		L2Groups:        groups,
+		L2BytesPerGroup: int64(groupSize) * (1 << 20), // 1 MB per core: reduced ratio
+		L1BytesPerCore:  32 << 10,
+		FrequencyHz:     2.4e9,
+		// Bandwidth grows sublinearly with core count: the wall the
+		// paper warns about.
+		BusBandwidth: 8.5e9 * (1 + 0.25*float64(cores-4)/4),
+	}
+}
+
+// Validate checks internal consistency: every core in exactly one L2 group,
+// positive capacities and clock.
+func (t *Topology) Validate() error {
+	if t.NumCores <= 0 {
+		return fmt.Errorf("topology %q: NumCores = %d", t.Name, t.NumCores)
+	}
+	seen := make(map[CoreID]bool, t.NumCores)
+	for _, g := range t.L2Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("topology %q: empty L2 group", t.Name)
+		}
+		for _, c := range g {
+			if c < 0 || int(c) >= t.NumCores {
+				return fmt.Errorf("topology %q: core %d out of range", t.Name, c)
+			}
+			if seen[c] {
+				return fmt.Errorf("topology %q: core %d in two L2 groups", t.Name, c)
+			}
+			seen[c] = true
+		}
+	}
+	if len(seen) != t.NumCores {
+		return fmt.Errorf("topology %q: %d of %d cores assigned to L2 groups", t.Name, len(seen), t.NumCores)
+	}
+	if t.L2BytesPerGroup <= 0 || t.L1BytesPerCore <= 0 {
+		return fmt.Errorf("topology %q: non-positive cache capacity", t.Name)
+	}
+	if t.FrequencyHz <= 0 || t.BusBandwidth <= 0 {
+		return fmt.Errorf("topology %q: non-positive frequency or bandwidth", t.Name)
+	}
+	return nil
+}
+
+// GroupOf returns the index of the L2 group containing core c, or -1 when
+// the core is unknown.
+func (t *Topology) GroupOf(c CoreID) int {
+	for gi, g := range t.L2Groups {
+		for _, cc := range g {
+			if cc == c {
+				return gi
+			}
+		}
+	}
+	return -1
+}
+
+// Placement is a binding of threads to cores: one thread per listed core.
+// Placements are the units the runtime chooses among; the paper's
+// configurations 1, 2a, 2b, 3 and 4 are placements on the quad-core Xeon.
+type Placement struct {
+	// Name is the configuration label used throughout the paper,
+	// e.g. "2b" for two threads on loosely coupled cores.
+	Name string
+	// Cores lists the cores hosting threads, in thread order.
+	Cores []CoreID
+}
+
+// Threads returns the number of threads the placement runs.
+func (p Placement) Threads() int { return len(p.Cores) }
+
+// String returns the placement in "name[c0 c1 ...]" form.
+func (p Placement) String() string {
+	return fmt.Sprintf("%s%v", p.Name, p.Cores)
+}
+
+// coOccupancy returns, for each L2 group, how many of the placement's
+// threads live in that group.
+func (p Placement) coOccupancy(t *Topology) []int {
+	occ := make([]int, len(t.L2Groups))
+	for _, c := range p.Cores {
+		gi := t.GroupOf(c)
+		if gi >= 0 {
+			occ[gi]++
+		}
+	}
+	return occ
+}
+
+// GroupLoad reports how many threads of the placement share the L2 group of
+// core c (including the thread on c itself).
+func (p Placement) GroupLoad(t *Topology, c CoreID) int {
+	gi := t.GroupOf(c)
+	if gi < 0 {
+		return 0
+	}
+	return p.coOccupancy(t)[gi]
+}
+
+// PaperConfigs returns the five configurations evaluated in the paper on the
+// quad-core Xeon, in canonical order: 1, 2a, 2b, 3, 4.
+//
+//	1  — one thread on core 0
+//	2a — two threads on tightly coupled cores (same L2): cores 0,1
+//	2b — two threads on loosely coupled cores (different L2s): cores 0,2
+//	3  — three threads: cores 0,1,2 (one full pair plus a solo core)
+//	4  — four threads on all cores
+func PaperConfigs() []Placement {
+	return []Placement{
+		{Name: "1", Cores: []CoreID{0}},
+		{Name: "2a", Cores: []CoreID{0, 1}},
+		{Name: "2b", Cores: []CoreID{0, 2}},
+		{Name: "3", Cores: []CoreID{0, 1, 2}},
+		{Name: "4", Cores: []CoreID{0, 1, 2, 3}},
+	}
+}
+
+// ConfigByName returns the paper configuration with the given name.
+func ConfigByName(name string) (Placement, bool) {
+	for _, p := range PaperConfigs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Placement{}, false
+}
+
+// EnumeratePlacements generates one canonical placement for every distinct
+// (thread count, per-group occupancy multiset) combination on topology t.
+// Two placements that put the same number of threads into L2 groups in the
+// same multiset pattern are performance-equivalent under the machine model,
+// so only one representative is produced. This generalises the paper's
+// {1, 2a, 2b, 3, 4} to arbitrary machines.
+func EnumeratePlacements(t *Topology) []Placement {
+	var out []Placement
+	seen := make(map[string]bool)
+	groupSizes := make([]int, len(t.L2Groups))
+	for i, g := range t.L2Groups {
+		groupSizes[i] = len(g)
+	}
+	for n := 1; n <= t.NumCores; n++ {
+		for _, occ := range occupancyPatterns(groupSizes, n) {
+			key := occKey(occ)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cores := coresForOccupancy(t, occ)
+			name := fmt.Sprintf("%d", n)
+			if len(variantsFor(groupSizes, n)) > 1 {
+				name = fmt.Sprintf("%d:%s", n, key)
+			}
+			out = append(out, Placement{Name: name, Cores: cores})
+		}
+	}
+	return out
+}
+
+// occupancyPatterns enumerates the distinct non-increasing occupancy
+// multisets of n threads over groups with the given capacities.
+func occupancyPatterns(groupSizes []int, n int) [][]int {
+	var out [][]int
+	var rec func(rem, maxPer int, acc []int)
+	rec = func(rem, maxPer int, acc []int) {
+		if rem == 0 {
+			occ := make([]int, len(acc))
+			copy(occ, acc)
+			out = append(out, occ)
+			return
+		}
+		if len(acc) == len(groupSizes) {
+			return
+		}
+		cap := groupSizes[len(acc)]
+		if cap > maxPer {
+			cap = maxPer
+		}
+		if cap > rem {
+			cap = rem
+		}
+		for take := cap; take >= 1; take-- {
+			rec(rem-take, take, append(acc, take))
+		}
+		// Also allow skipping remaining groups only via take loop; a zero
+		// in the middle of a non-increasing sequence forces all later
+		// zeros, which is equivalent to stopping, so only allow zero when
+		// nothing remains (handled by rem==0 base case).
+	}
+	// Assume homogeneous group sizes (true for all built-in topologies);
+	// sort capacities descending for canonical patterns.
+	sizes := append([]int(nil), groupSizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	rec(n, sizes[0], nil)
+	return out
+}
+
+func variantsFor(groupSizes []int, n int) [][]int {
+	return occupancyPatterns(groupSizes, n)
+}
+
+func occKey(occ []int) string {
+	s := ""
+	for i, o := range occ {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%d", o)
+	}
+	return s
+}
+
+// coresForOccupancy materialises a concrete core list realising the
+// occupancy pattern occ on topology t: occ[i] threads in the i-th group.
+func coresForOccupancy(t *Topology, occ []int) []CoreID {
+	var cores []CoreID
+	for gi, k := range occ {
+		if gi >= len(t.L2Groups) {
+			break
+		}
+		g := t.L2Groups[gi]
+		for i := 0; i < k && i < len(g); i++ {
+			cores = append(cores, g[i])
+		}
+	}
+	return cores
+}

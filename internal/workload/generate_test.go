@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateValidBenchmarks(t *testing.T) {
+	f := func(seed int64) bool {
+		b, err := Generate("X", DefaultGenConfig(seed))
+		if err != nil {
+			return false
+		}
+		return b.Validate() == nil &&
+			len(b.Phases) >= 3 && len(b.Phases) <= 12 &&
+			b.Iterations >= 4 && b.Iterations <= 400
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("X", DefaultGenConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate("X", DefaultGenConfig(5))
+	if len(a.Phases) != len(b.Phases) || a.Iterations != b.Iterations {
+		t.Fatal("same seed produced different structure")
+	}
+	for i := range a.Phases {
+		if a.Phases[i].Instructions != b.Phases[i].Instructions {
+			t.Fatal("same seed produced different phases")
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate("X", DefaultGenConfig(1))
+	b, _ := Generate("X", DefaultGenConfig(2))
+	if a.Phases[0].Instructions == b.Phases[0].Instructions {
+		t.Error("different seeds produced identical first phases")
+	}
+}
+
+func TestGenerateFingerprints(t *testing.T) {
+	b, _ := Generate("APP", DefaultGenConfig(9))
+	seen := map[string]bool{}
+	for _, p := range b.Phases {
+		if p.Fingerprint == "" || seen[p.Fingerprint] {
+			t.Errorf("bad fingerprint %q", p.Fingerprint)
+		}
+		seen[p.Fingerprint] = true
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := DefaultGenConfig(1)
+	bad.MinPhases = 0
+	if _, err := Generate("X", bad); err == nil {
+		t.Error("zero MinPhases accepted")
+	}
+	bad = DefaultGenConfig(1)
+	bad.MaxIterations = 1
+	bad.MinIterations = 10
+	if _, err := Generate("X", bad); err == nil {
+		t.Error("inverted iteration range accepted")
+	}
+}
+
+func TestGeneratePopulation(t *testing.T) {
+	pop, err := GeneratePopulation("R", 5, DefaultGenConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 5 {
+		t.Fatalf("population size %d", len(pop))
+	}
+	names := map[string]bool{}
+	for _, b := range pop {
+		if names[b.Name] {
+			t.Errorf("duplicate name %q", b.Name)
+		}
+		names[b.Name] = true
+	}
+	// Population members differ from each other.
+	if pop[0].Phases[0].Instructions == pop[1].Phases[0].Instructions {
+		t.Error("population members identical")
+	}
+}
