@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test race bench bench-json fmt vet ci clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: print the full benchmark suite with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+## bench-json: snapshot the benchmark suite into BENCH_1.json so future
+## PRs can diff the perf trajectory (see PERFORMANCE.md).
+bench-json:
+	scripts/bench.sh BENCH_1.json
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt vet build race
+
+clean:
+	rm -rf .bench-baseline

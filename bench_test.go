@@ -358,6 +358,45 @@ func BenchmarkMachineRunPhase(b *testing.B) {
 	}
 }
 
+// BenchmarkRunPhaseCached measures the memoised replay path: the same
+// (phase, placement) pairs every timestep, as strategy replays and figure
+// drivers see them (compare against BenchmarkMachineRunPhase for the
+// cache's speedup).
+func BenchmarkRunPhaseCached(b *testing.B) {
+	m, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m = m.WithMemo()
+	bench, _ := npb.ByName("SP")
+	cfg, _ := topology.ConfigByName("4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RunPhase(&bench.Phases[i%len(bench.Phases)], bench.Idiosyncrasy, cfg)
+	}
+	b.StopTimer()
+	hits, misses := m.MemoStats()
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(float64(hits)/float64(total)*100, "hit-rate-pct")
+	}
+}
+
+// BenchmarkLOOTrainParallel measures the full leave-one-out pipeline —
+// suite-wide sample collection plus per-benchmark bank training — on the
+// parallel engine at the current GOMAXPROCS.
+func BenchmarkLOOTrainParallel(b *testing.B) {
+	s, err := exp.NewSuite(exp.FastOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TrainLeaveOneOut(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkANNForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	net, err := ann.NewNetwork([]int{13, 16, 1}, rng)

@@ -1,0 +1,3 @@
+module github.com/greenhpc/actor
+
+go 1.24

@@ -31,11 +31,11 @@ func TestNewNetworkShapes(t *testing.T) {
 	if n.InputDim() != 3 {
 		t.Errorf("InputDim = %d", n.InputDim())
 	}
-	if len(n.Weights) != 2 {
-		t.Fatalf("layers = %d", len(n.Weights))
+	if n.NumLayers() != 2 {
+		t.Fatalf("layers = %d", n.NumLayers())
 	}
-	if len(n.Weights[0]) != 5 || len(n.Weights[0][0]) != 4 {
-		t.Errorf("hidden layer shape = %d×%d, want 5×4 (incl. bias)", len(n.Weights[0]), len(n.Weights[0][0]))
+	if units, rowW := n.LayerShape(0); units != 5 || rowW != 4 {
+		t.Errorf("hidden layer shape = %d×%d, want 5×4 (incl. bias)", units, rowW)
 	}
 	if _, err := NewNetwork([]int{3}, rng); err == nil {
 		t.Error("single-layer network accepted")

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+
+	"github.com/greenhpc/actor/internal/parallel"
 )
 
 // Ensemble is a k-fold cross-validation ensemble: k networks, each trained
@@ -19,6 +21,9 @@ type Ensemble struct {
 	// unbiased estimate of ensemble-member generalisation error (in
 	// normalised target units).
 	EstimateMSE float64
+
+	// pool recycles the normalised-input buffer Predict uses.
+	pool sync.Pool
 }
 
 // TrainEnsemble builds a k-fold ensemble from samples. Fold assignment is a
@@ -50,35 +55,27 @@ func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
 	ens := &Ensemble{Nets: make([]*Network, k), Scaler: scaler}
 	estimates := make([]float64, k)
 	errs := make([]error, k)
-	var wg sync.WaitGroup
-	for member := 0; member < k; member++ {
-		wg.Add(1)
-		go func(member int) {
-			defer wg.Done()
-			stopFold := member
-			estFold := (member + 1) % k
-			var train []Sample
-			for f := range folds {
-				if f != stopFold && f != estFold {
-					train = append(train, folds[f]...)
-				}
+	parallel.ForEach(k, func(member int) {
+		stopFold := member
+		estFold := (member + 1) % k
+		var train []Sample
+		for f := range folds {
+			if f != stopFold && f != estFold {
+				train = append(train, folds[f]...)
 			}
-			mcfg := cfg
-			mcfg.Seed = cfg.Seed + int64(member)*7919
-			net, _, err := Train(train, folds[stopFold], mcfg)
-			if err != nil {
-				errs[member] = err
-				return
-			}
-			ens.Nets[member] = net
-			estimates[member] = net.MSE(folds[estFold])
-		}(member)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
 		}
+		mcfg := cfg
+		mcfg.Seed = cfg.Seed + int64(member)*7919
+		net, _, err := Train(train, folds[stopFold], mcfg)
+		if err != nil {
+			errs[member] = err
+			return
+		}
+		ens.Nets[member] = net
+		estimates[member] = net.MSE(folds[estFold])
+	})
+	if err := parallel.FirstError(errs); err != nil {
+		return nil, err
 	}
 	var sum float64
 	for _, e := range estimates {
@@ -89,13 +86,20 @@ func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
 }
 
 // Predict returns the ensemble's prediction for a raw (unnormalised)
-// feature vector, in raw target units.
+// feature vector, in raw target units. It is safe for concurrent use and
+// allocates nothing in steady state.
 func (e *Ensemble) Predict(x []float64) float64 {
-	nx := e.Scaler.X(x)
+	bp, ok := e.pool.Get().(*[]float64)
+	if !ok {
+		bp = new([]float64)
+	}
+	nx := e.Scaler.XInto(*bp, x)
+	*bp = nx // keep any regrown backing array
 	var sum float64
 	for _, n := range e.Nets {
 		sum += n.Predict(nx)
 	}
+	e.pool.Put(bp)
 	return e.Scaler.InvY(sum / float64(len(e.Nets)))
 }
 

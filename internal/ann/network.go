@@ -5,7 +5,11 @@
 // output is the final prediction (the paper's Section IV-A methodology).
 //
 // The implementation is self-contained (stdlib only), deterministic under a
-// caller-provided seed, and trains fold models in parallel.
+// caller-provided seed, and trains fold models in parallel. Weights are
+// stored flat (one contiguous row-major slice per layer) and the forward and
+// backprop passes run on reusable scratch buffers, so prediction allocates
+// nothing in steady state — the predictor sits on the runtime's
+// decision path, where allocation churn is measurable.
 package ann
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Network is a feed-forward neural network with sigmoid hidden layers and a
@@ -21,9 +26,23 @@ import (
 type Network struct {
 	// Sizes lists layer widths from input to output, e.g. [13, 16, 1].
 	Sizes []int
-	// Weights[l][j][i] is the weight from unit i of layer l to unit j of
-	// layer l+1; index i == Sizes[l] is unit j's bias.
-	Weights [][][]float64
+	// w[l] is layer l's weight matrix, flattened row-major: Sizes[l+1]
+	// rows of (Sizes[l]+1) columns, the last column being the unit bias.
+	w [][]float64
+
+	// pool recycles forward/backprop scratch buffers across calls;
+	// the zero value is ready to use and is not copied (Network is
+	// handled by pointer throughout).
+	pool sync.Pool
+}
+
+// rowWidth returns the flattened row length of layer l (fan-in + bias).
+func (n *Network) rowWidth(l int) int { return n.Sizes[l] + 1 }
+
+// layerRow returns the weight row of unit j in layer l.
+func (n *Network) layerRow(l, j int) []float64 {
+	w := n.rowWidth(l)
+	return n.w[l][j*w : (j+1)*w]
 }
 
 // NewNetwork creates a network with the given layer sizes and small random
@@ -39,18 +58,15 @@ func NewNetwork(sizes []int, rng *rand.Rand) (*Network, error) {
 		}
 	}
 	n := &Network{Sizes: append([]int(nil), sizes...)}
-	n.Weights = make([][][]float64, len(sizes)-1)
+	n.w = make([][]float64, len(sizes)-1)
 	for l := 0; l < len(sizes)-1; l++ {
 		fanIn := sizes[l]
 		scale := 1 / math.Sqrt(float64(fanIn))
-		n.Weights[l] = make([][]float64, sizes[l+1])
-		for j := range n.Weights[l] {
-			w := make([]float64, fanIn+1) // +1 bias
-			for i := range w {
-				w[i] = rng.Float64()*2*scale - scale
-			}
-			n.Weights[l][j] = w
+		layer := make([]float64, sizes[l+1]*(fanIn+1))
+		for i := range layer {
+			layer[i] = rng.Float64()*2*scale - scale
 		}
+		n.w[l] = layer
 	}
 	return n, nil
 }
@@ -61,20 +77,61 @@ func sigmoid(x float64) float64 {
 	return 1 / (1 + math.Exp(-x))
 }
 
-// Forward runs the network on input x and returns the scalar output along
-// with every layer's activations (needed by backprop). x must have length
-// Sizes[0].
-func (n *Network) forward(x []float64) (float64, [][]float64) {
-	acts := make([][]float64, len(n.Sizes))
-	acts[0] = x
-	for l := 0; l < len(n.Weights); l++ {
-		out := make([]float64, n.Sizes[l+1])
-		last := l == len(n.Weights)-1
-		for j, w := range n.Weights[l] {
-			sum := w[len(w)-1] // bias
-			in := acts[l]
+// scratch holds the per-call working memory of forward and backprop:
+// activations for every layer past the input, and backprop deltas. One
+// scratch serves any number of sequential passes; the pool hands each
+// concurrent caller its own.
+type scratch struct {
+	acts   [][]float64 // acts[l] is layer l+1's activations
+	deltas [][]float64 // deltas[l] matches acts[l]
+}
+
+// getScratch fetches (or sizes) a scratch matching the network topology.
+func (n *Network) getScratch() *scratch {
+	if s, ok := n.pool.Get().(*scratch); ok && s.fits(n) {
+		return s
+	}
+	s := &scratch{
+		acts:   make([][]float64, len(n.Sizes)-1),
+		deltas: make([][]float64, len(n.Sizes)-1),
+	}
+	for l := 1; l < len(n.Sizes); l++ {
+		s.acts[l-1] = make([]float64, n.Sizes[l])
+		s.deltas[l-1] = make([]float64, n.Sizes[l])
+	}
+	return s
+}
+
+func (n *Network) putScratch(s *scratch) { n.pool.Put(s) }
+
+// fits reports whether the scratch matches the network's topology — a
+// Network whose shape changed via UnmarshalJSON must not reuse old buffers.
+func (s *scratch) fits(n *Network) bool {
+	if len(s.acts) != len(n.Sizes)-1 {
+		return false
+	}
+	for l := 1; l < len(n.Sizes); l++ {
+		if len(s.acts[l-1]) != n.Sizes[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// forward runs the network on input x, writing every layer's activations
+// into s and returning the scalar output. x must have length Sizes[0].
+func (n *Network) forward(x []float64, s *scratch) float64 {
+	in := x
+	for l := 0; l < len(n.w); l++ {
+		out := s.acts[l]
+		last := l == len(n.w)-1
+		rowW := n.rowWidth(l)
+		layer := n.w[l]
+		for j := range out {
+			row := layer[j*rowW : (j+1)*rowW]
+			sum := row[rowW-1] // bias
 			for i, v := range in {
-				sum += w[i] * v
+				sum += row[i] * v
 			}
 			if last {
 				out[j] = sum // linear output unit
@@ -82,112 +139,155 @@ func (n *Network) forward(x []float64) (float64, [][]float64) {
 				out[j] = sigmoid(sum)
 			}
 		}
-		acts[l+1] = out
+		in = out
 	}
-	return acts[len(acts)-1][0], acts
+	return s.acts[len(s.acts)-1][0]
 }
 
 // Predict returns the network's output for input x. It panics if x has the
 // wrong dimension, which always indicates a programming error upstream.
+// Predict is safe for concurrent use.
 func (n *Network) Predict(x []float64) float64 {
 	if len(x) != n.Sizes[0] {
 		panic(fmt.Sprintf("ann: input dim %d, want %d", len(x), n.Sizes[0]))
 	}
-	y, _ := n.forward(x)
+	s := n.getScratch()
+	y := n.forward(x, s)
+	n.putScratch(s)
 	return y
 }
 
 // InputDim returns the expected input vector length.
 func (n *Network) InputDim() int { return n.Sizes[0] }
 
+// LayerShape returns (units, weightsPerUnit) of layer l — the row count and
+// row width (fan-in plus bias) of its weight matrix.
+func (n *Network) LayerShape(l int) (units, weightsPerUnit int) {
+	return n.Sizes[l+1], n.rowWidth(l)
+}
+
+// NumLayers returns the number of weight layers (len(Sizes) − 1).
+func (n *Network) NumLayers() int { return len(n.w) }
+
 // Clone returns a deep copy of the network.
 func (n *Network) Clone() *Network {
 	cp := &Network{Sizes: append([]int(nil), n.Sizes...)}
-	cp.Weights = make([][][]float64, len(n.Weights))
-	for l := range n.Weights {
-		cp.Weights[l] = make([][]float64, len(n.Weights[l]))
-		for j := range n.Weights[l] {
-			cp.Weights[l][j] = append([]float64(nil), n.Weights[l][j]...)
-		}
+	cp.w = make([][]float64, len(n.w))
+	for l := range n.w {
+		cp.w[l] = append([]float64(nil), n.w[l]...)
 	}
 	return cp
 }
 
+// copyWeightsFrom overwrites n's weights with src's (same topology), the
+// allocation-free alternative to Clone used by early-stopping snapshots.
+func (n *Network) copyWeightsFrom(src *Network) {
+	for l := range n.w {
+		copy(n.w[l], src.w[l])
+	}
+}
+
 // backprop performs one stochastic gradient step on sample (x, y) with the
-// given learning rate, accumulating momentum into vel (same shape as
-// Weights). It returns the squared error before the update.
-func (n *Network) backprop(x []float64, y, lr, momentum float64, vel [][][]float64) float64 {
-	out, acts := n.forward(x)
+// given learning rate, accumulating momentum into vel (same shape as the
+// flattened weights) and using s as working memory. It returns the squared
+// error before the update.
+func (n *Network) backprop(x []float64, y, lr, momentum float64, vel [][]float64, s *scratch) float64 {
+	out := n.forward(x, s)
 	errOut := out - y
 
 	// Deltas per layer (output layer is linear: delta = error).
-	deltas := make([][]float64, len(n.Weights))
-	deltas[len(deltas)-1] = []float64{errOut}
-	for l := len(n.Weights) - 2; l >= 0; l-- {
-		d := make([]float64, n.Sizes[l+1])
-		next := deltas[l+1]
+	nl := len(n.w)
+	s.deltas[nl-1][0] = errOut
+	for l := nl - 2; l >= 0; l-- {
+		d := s.deltas[l]
+		next := s.deltas[l+1]
+		nextRowW := n.rowWidth(l + 1)
+		nextLayer := n.w[l+1]
 		for j := range d {
 			var sum float64
-			for k, w := range n.Weights[l+1] {
-				sum += w[j] * next[k]
+			for k, nd := range next {
+				sum += nextLayer[k*nextRowW+j] * nd
 			}
-			a := acts[l+1][j]
+			a := s.acts[l][j]
 			d[j] = sum * a * (1 - a) // sigmoid derivative
 		}
-		deltas[l] = d
 	}
 
 	// Weight update with momentum: v ← μv − η∂E/∂w; w ← w + v
 	// (equation (1) of the paper plus the standard momentum term).
-	for l := range n.Weights {
-		in := acts[l]
-		for j, w := range n.Weights[l] {
-			d := deltas[l][j]
-			v := vel[l][j]
+	in := x
+	for l := range n.w {
+		rowW := n.rowWidth(l)
+		layer := n.w[l]
+		vlayer := vel[l]
+		for j, d := range s.deltas[l] {
+			row := layer[j*rowW : (j+1)*rowW]
+			v := vlayer[j*rowW : (j+1)*rowW]
 			for i := range in {
 				v[i] = momentum*v[i] - lr*d*in[i]
-				w[i] += v[i]
+				row[i] += v[i]
 			}
-			bi := len(w) - 1
+			bi := rowW - 1
 			v[bi] = momentum*v[bi] - lr*d
-			w[bi] += v[bi]
+			row[bi] += v[bi]
 		}
+		in = s.acts[l]
 	}
 	return errOut * errOut
 }
 
-// zeroLike allocates a weight-shaped buffer of zeros.
-func (n *Network) zeroLike() [][][]float64 {
-	vel := make([][][]float64, len(n.Weights))
-	for l := range n.Weights {
-		vel[l] = make([][]float64, len(n.Weights[l]))
-		for j := range n.Weights[l] {
-			vel[l][j] = make([]float64, len(n.Weights[l][j]))
-		}
+// zeroLike allocates a weight-shaped flat buffer of zeros (momentum
+// velocities).
+func (n *Network) zeroLike() [][]float64 {
+	vel := make([][]float64, len(n.w))
+	for l := range n.w {
+		vel[l] = make([]float64, len(n.w[l]))
 	}
 	return vel
 }
 
-// MSE returns the mean squared error of the network over the samples.
+// MSE returns the mean squared error of the network over the samples. Like
+// Predict, it panics on a dimension mismatch — a programming error
+// upstream that must not become a silently wrong error estimate.
 func (n *Network) MSE(set []Sample) float64 {
 	if len(set) == 0 {
 		return 0
 	}
+	s := n.getScratch()
 	var sum float64
-	for _, s := range set {
-		d := n.Predict(s.X) - s.Y
+	for i := range set {
+		if len(set[i].X) != n.Sizes[0] {
+			panic(fmt.Sprintf("ann: input dim %d, want %d", len(set[i].X), n.Sizes[0]))
+		}
+		d := n.forward(set[i].X, s) - set[i].Y
 		sum += d * d
 	}
+	n.putScratch(s)
 	return sum / float64(len(set))
+}
+
+// nestedWeights converts the flat storage to the serialised
+// Weights[l][j][i] form (index i == Sizes[l] is unit j's bias).
+func (n *Network) nestedWeights() [][][]float64 {
+	out := make([][][]float64, len(n.w))
+	for l := range n.w {
+		units, rowW := n.LayerShape(l)
+		out[l] = make([][]float64, units)
+		for j := 0; j < units; j++ {
+			out[l][j] = append([]float64(nil), n.w[l][j*rowW:(j+1)*rowW]...)
+		}
+	}
+	return out
 }
 
 // MarshalJSON/UnmarshalJSON give the network a stable serialised form used
 // by the offline trainer (cmd/actor-train) and loader (cmd/actor-predict).
+// The wire format is unchanged from the nested-slice implementation.
 func (n *Network) MarshalJSON() ([]byte, error) {
 	return json.Marshal(struct {
 		Sizes   []int         `json:"sizes"`
 		Weights [][][]float64 `json:"weights"`
-	}{n.Sizes, n.Weights})
+	}{n.Sizes, n.nestedWeights()})
 }
 
 // UnmarshalJSON restores a serialised network, validating shape consistency.
@@ -214,6 +314,14 @@ func (n *Network) UnmarshalJSON(data []byte) error {
 		}
 	}
 	n.Sizes = raw.Sizes
-	n.Weights = raw.Weights
+	n.w = make([][]float64, len(raw.Weights))
+	for l := range raw.Weights {
+		rowW := raw.Sizes[l] + 1
+		flat := make([]float64, len(raw.Weights[l])*rowW)
+		for j, row := range raw.Weights[l] {
+			copy(flat[j*rowW:(j+1)*rowW], row)
+		}
+		n.w[l] = flat
+	}
 	return nil
 }

@@ -67,11 +67,20 @@ func FitScaler(samples []Sample) (*Scaler, error) {
 
 // X standardises a feature vector.
 func (sc *Scaler) X(x []float64) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = (v - sc.Mean[i]) / sc.Std[i]
+	return sc.XInto(nil, x)
+}
+
+// XInto standardises x into dst (grown when too small), the
+// allocation-free form of X used on the prediction hot path.
+func (sc *Scaler) XInto(dst, x []float64) []float64 {
+	if cap(dst) < len(x) {
+		dst = make([]float64, len(x))
 	}
-	return out
+	dst = dst[:len(x)]
+	for i, v := range x {
+		dst[i] = (v - sc.Mean[i]) / sc.Std[i]
+	}
+	return dst
 }
 
 // Y maps a raw target into [0.1, 0.9].

@@ -65,7 +65,12 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 		return nil, TrainResult{}, errors.New("ann: empty training set")
 	}
 	inDim := len(train[0].X)
-	for _, s := range append(append([]Sample(nil), train...), valid...) {
+	for _, s := range train {
+		if len(s.X) != inDim {
+			return nil, TrainResult{}, errors.New("ann: inconsistent feature dimensions")
+		}
+	}
+	for _, s := range valid {
 		if len(s.X) != inDim {
 			return nil, TrainResult{}, errors.New("ann: inconsistent feature dimensions")
 		}
@@ -78,7 +83,10 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 		return nil, TrainResult{}, err
 	}
 
+	// All working memory for the whole training run is allocated once here
+	// and reused across every epoch and sample.
 	vel := net.zeroLike()
+	sc := net.getScratch()
 	order := make([]int, len(train))
 	for i := range order {
 		order[i] = i
@@ -93,8 +101,8 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var sum float64
 		for _, idx := range order {
-			s := train[idx]
-			sum += net.backprop(s.X, s.Y, cfg.LearningRate, cfg.Momentum, vel)
+			s := &train[idx]
+			sum += net.backprop(s.X, s.Y, cfg.LearningRate, cfg.Momentum, vel, sc)
 		}
 		res.Epochs = epoch + 1
 		res.TrainMSE = sum / float64(len(train))
@@ -105,7 +113,7 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 		v := net.MSE(valid)
 		if v < bestValid-1e-12 {
 			bestValid = v
-			best = net.Clone()
+			best.copyWeightsFrom(net)
 			bad = 0
 		} else {
 			bad++
@@ -115,6 +123,7 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 			}
 		}
 	}
+	net.putScratch(sc)
 	if len(valid) > 0 {
 		net = best
 		res.ValidMSE = bestValid

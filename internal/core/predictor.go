@@ -20,10 +20,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/greenhpc/actor/internal/ann"
 	"github.com/greenhpc/actor/internal/dataset"
 	"github.com/greenhpc/actor/internal/mlr"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/pmu"
 )
 
@@ -31,8 +33,12 @@ import (
 // rates observed at the sampling configuration — equation (2) of the paper.
 type Predictor interface {
 	// Events returns the programmable events the predictor's feature
-	// vector requires, in order.
+	// vector requires, in order. The returned slice is the predictor's
+	// own and must not be mutated.
 	Events() []pmu.Event
+	// NumEvents returns len(Events()) without exposing the slice — the
+	// bank's budget arithmetic calls this in a loop.
+	NumEvents() int
 	// PredictIPC maps observed rates to predicted IPC per target
 	// configuration name.
 	PredictIPC(rates pmu.Rates) (map[string]float64, error)
@@ -43,6 +49,7 @@ type Predictor interface {
 type ANNPredictor struct {
 	events  []pmu.Event
 	targets map[string]*ann.Ensemble
+	vecPool sync.Pool // recycled feature vectors
 }
 
 // NewANNPredictor builds a predictor from per-target ensembles. All
@@ -61,16 +68,25 @@ func NewANNPredictor(events []pmu.Event, targets map[string]*ann.Ensemble) (*ANN
 	return &ANNPredictor{events: append([]pmu.Event(nil), events...), targets: targets}, nil
 }
 
-// Events returns the feature event list.
-func (p *ANNPredictor) Events() []pmu.Event { return append([]pmu.Event(nil), p.events...) }
+// Events returns the feature event list (read-only; not a copy).
+func (p *ANNPredictor) Events() []pmu.Event { return p.events }
+
+// NumEvents returns the feature event count.
+func (p *ANNPredictor) NumEvents() int { return len(p.events) }
 
 // PredictIPC evaluates every target ensemble on the rates.
 func (p *ANNPredictor) PredictIPC(rates pmu.Rates) (map[string]float64, error) {
-	x := rates.Vector(p.events)
+	bp, ok := p.vecPool.Get().(*[]float64)
+	if !ok {
+		bp = new([]float64)
+	}
+	x := rates.VectorInto(*bp, p.events)
+	*bp = x // keep any regrown backing array
 	out := make(map[string]float64, len(p.targets))
 	for name, e := range p.targets {
 		out[name] = e.Predict(x)
 	}
+	p.vecPool.Put(bp)
 	return out, nil
 }
 
@@ -78,6 +94,7 @@ func (p *ANNPredictor) PredictIPC(rates pmu.Rates) (map[string]float64, error) {
 type MLRPredictor struct {
 	events  []pmu.Event
 	targets map[string]*mlr.Model
+	vecPool sync.Pool
 }
 
 // NewMLRPredictor builds a linear-regression predictor from per-target
@@ -96,16 +113,25 @@ func NewMLRPredictor(events []pmu.Event, targets map[string]*mlr.Model) (*MLRPre
 	return &MLRPredictor{events: append([]pmu.Event(nil), events...), targets: targets}, nil
 }
 
-// Events returns the feature event list.
-func (p *MLRPredictor) Events() []pmu.Event { return append([]pmu.Event(nil), p.events...) }
+// Events returns the feature event list (read-only; not a copy).
+func (p *MLRPredictor) Events() []pmu.Event { return p.events }
+
+// NumEvents returns the feature event count.
+func (p *MLRPredictor) NumEvents() int { return len(p.events) }
 
 // PredictIPC evaluates every target model on the rates.
 func (p *MLRPredictor) PredictIPC(rates pmu.Rates) (map[string]float64, error) {
-	x := rates.Vector(p.events)
+	bp, ok := p.vecPool.Get().(*[]float64)
+	if !ok {
+		bp = new([]float64)
+	}
+	x := rates.VectorInto(*bp, p.events)
+	*bp = x // keep any regrown backing array
 	out := make(map[string]float64, len(p.targets))
 	for name, m := range p.targets {
 		out[name] = m.Predict(x)
 	}
+	p.vecPool.Put(bp)
 	return out, nil
 }
 
@@ -123,16 +149,16 @@ func NewBank(preds ...Predictor) (*Bank, error) {
 		return nil, errors.New("core: empty predictor bank")
 	}
 	ps := append([]Predictor(nil), preds...)
-	sort.Slice(ps, func(i, j int) bool { return len(ps[i].Events()) > len(ps[j].Events()) })
+	sort.Slice(ps, func(i, j int) bool { return ps[i].NumEvents() > ps[j].NumEvents() })
 	return &Bank{predictors: ps}, nil
 }
 
 // Select returns the richest predictor whose event rotation fits within
 // maxRounds timesteps on a counter file of the given width, falling back to
-// the smallest predictor when none fit.
+// the smallest predictor when none fit. It allocates nothing.
 func (b *Bank) Select(maxRounds, counterWidth int) Predictor {
 	for _, p := range b.predictors {
-		need := (len(p.Events()) + counterWidth - 1) / counterWidth
+		need := (p.NumEvents() + counterWidth - 1) / counterWidth
 		if need <= maxRounds {
 			return p
 		}
@@ -156,8 +182,10 @@ func TrainANNBank(samples []dataset.PhaseSample, eventCounts []int, targets []st
 		if len(events) > ec {
 			events = events[:ec]
 		}
-		models := make(map[string]*ann.Ensemble, len(targets))
-		for _, t := range targets {
+		// Targets are independent training problems; fan them out. Each
+		// ensemble's folds fan out one level further inside TrainEnsemble.
+		ensembles, err := parallel.Map(len(targets), func(i int) (*ann.Ensemble, error) {
+			t := targets[i]
 			ss, err := dataset.ToSamples(samples, events, t)
 			if err != nil {
 				return nil, err
@@ -166,7 +194,14 @@ func TrainANNBank(samples []dataset.PhaseSample, eventCounts []int, targets []st
 			if err != nil {
 				return nil, fmt.Errorf("train ANN (events=%d, target=%s): %w", ec, t, err)
 			}
-			models[t] = ens
+			return ens, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		models := make(map[string]*ann.Ensemble, len(targets))
+		for i, t := range targets {
+			models[t] = ensembles[i]
 		}
 		p, err := NewANNPredictor(events, models)
 		if err != nil {

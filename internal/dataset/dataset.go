@@ -12,9 +12,12 @@ package dataset
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/greenhpc/actor/internal/ann"
 	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/pmu"
 	"github.com/greenhpc/actor/internal/topology"
 	"github.com/greenhpc/actor/internal/workload"
@@ -65,6 +68,13 @@ type Collector struct {
 	// per phase (more repetitions expose the noise distribution to the
 	// model).
 	Repetitions int
+	// NoiseBase, when non-nil, switches collection to the parallel
+	// engine: every (benchmark, phase, repetition) task runs on its own
+	// noisy machine whose noise stream is forked from NoiseBase under a
+	// stable task key, so results are bit-identical at any GOMAXPROCS.
+	// When nil, collection runs sequentially on Noisy's shared stream
+	// (the legacy behaviour).
+	NoiseBase *noise.Source
 }
 
 // NewCollector returns a collector with the paper's defaults: sampling at
@@ -84,30 +94,45 @@ func NewCollector(noisy, truth *machine.Machine) *Collector {
 }
 
 // CollectBenchmark produces Repetitions samples for every phase of the
-// benchmark. Each repetition drives a fresh PMU rotation across consecutive
-// (simulated) timesteps at the sampling configuration, then measures IPC at
-// every labelled configuration.
+// benchmark, ordered (phase, repetition). With NoiseBase set the
+// (phase, repetition) tasks fan out through the parallel engine, each on a
+// privately-forked noise stream; otherwise collection is sequential on the
+// shared Noisy machine.
 func (c *Collector) CollectBenchmark(b *workload.Benchmark) ([]PhaseSample, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	var out []PhaseSample
-	for pi := range b.Phases {
-		p := &b.Phases[pi]
-		for rep := 0; rep < c.Repetitions; rep++ {
-			s, err := c.collectPhase(b, p)
-			if err != nil {
-				return nil, fmt.Errorf("collect %s/%s: %w", b.Name, p.Name, err)
+	if c.NoiseBase == nil {
+		var out []PhaseSample
+		for pi := range b.Phases {
+			p := &b.Phases[pi]
+			for rep := 0; rep < c.Repetitions; rep++ {
+				s, err := c.collectPhase(c.Noisy, b, p)
+				if err != nil {
+					return nil, fmt.Errorf("collect %s/%s: %w", b.Name, p.Name, err)
+				}
+				out = append(out, s)
 			}
-			out = append(out, s)
 		}
+		return out, nil
 	}
-	return out, nil
+	n := len(b.Phases) * c.Repetitions
+	return parallel.Map(n, func(i int) (PhaseSample, error) {
+		pi, rep := i/c.Repetitions, i%c.Repetitions
+		p := &b.Phases[pi]
+		key := fmt.Sprintf("collect/%s/%s/%d", b.Name, p.Name, rep)
+		noisy := c.Noisy.WithNoiseSource(c.NoiseBase.Fork(key))
+		s, err := c.collectPhase(noisy, b, p)
+		if err != nil {
+			return PhaseSample{}, fmt.Errorf("collect %s/%s: %w", b.Name, p.Name, err)
+		}
+		return s, nil
+	})
 }
 
 // collectPhase runs one full sampling rotation plus per-config measurement
-// for a single phase.
-func (c *Collector) collectPhase(b *workload.Benchmark, p *workload.PhaseProfile) (PhaseSample, error) {
+// for a single phase on the given noisy machine.
+func (c *Collector) collectPhase(noisy *machine.Machine, b *workload.Benchmark, p *workload.PhaseProfile) (PhaseSample, error) {
 	file, err := pmu.NewCounterFile(c.CounterWidth)
 	if err != nil {
 		return PhaseSample{}, err
@@ -118,7 +143,7 @@ func (c *Collector) collectPhase(b *workload.Benchmark, p *workload.PhaseProfile
 	}
 	sampler := pmu.NewSampler(file, plan)
 	for !sampler.Done() {
-		res := c.Noisy.RunPhase(p, b.Idiosyncrasy, c.SampleConfig)
+		res := noisy.RunPhase(p, b.Idiosyncrasy, c.SampleConfig)
 		if err := sampler.Observe(res.Counts); err != nil {
 			return PhaseSample{}, err
 		}
@@ -131,35 +156,55 @@ func (c *Collector) collectPhase(b *workload.Benchmark, p *workload.PhaseProfile
 		TrueIPC:     make(map[string]float64, len(c.Configs)),
 	}
 	for _, cfg := range c.Configs {
-		s.MeasuredIPC[cfg.Name] = c.Noisy.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
+		s.MeasuredIPC[cfg.Name] = noisy.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
 		s.TrueIPC[cfg.Name] = c.Truth.RunPhase(p, b.Idiosyncrasy, cfg).AggIPC
 	}
 	return s, nil
 }
 
 // CollectSuite collects samples for every benchmark, keyed by name.
+// Benchmarks fan out through the parallel engine when NoiseBase is set.
 func (c *Collector) CollectSuite(benches []*workload.Benchmark) (map[string][]PhaseSample, error) {
-	out := make(map[string][]PhaseSample, len(benches))
-	for _, b := range benches {
-		ss, err := c.CollectBenchmark(b)
-		if err != nil {
-			return nil, err
+	if c.NoiseBase == nil {
+		out := make(map[string][]PhaseSample, len(benches))
+		for _, b := range benches {
+			ss, err := c.CollectBenchmark(b)
+			if err != nil {
+				return nil, err
+			}
+			out[b.Name] = ss
 		}
-		out[b.Name] = ss
+		return out, nil
+	}
+	perBench, err := parallel.Map(len(benches), func(i int) ([]PhaseSample, error) {
+		return c.CollectBenchmark(benches[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]PhaseSample, len(benches))
+	for i, b := range benches {
+		out[b.Name] = perBench[i]
 	}
 	return out, nil
 }
 
 // LeaveOneOut merges the samples of every benchmark except excluded — the
 // paper's evaluation protocol, guaranteeing the model never saw the target
-// application.
+// application. Benchmarks are merged in sorted-name order: the map's random
+// iteration order used to leak into fold assignment, making "deterministic"
+// training differ between runs of the same seed.
 func LeaveOneOut(suite map[string][]PhaseSample, excluded string) []PhaseSample {
-	var out []PhaseSample
-	for name, ss := range suite {
-		if name == excluded {
-			continue
+	names := make([]string, 0, len(suite))
+	for name := range suite {
+		if name != excluded {
+			names = append(names, name)
 		}
-		out = append(out, ss...)
+	}
+	sort.Strings(names)
+	var out []PhaseSample
+	for _, name := range names {
+		out = append(out, suite[name]...)
 	}
 	return out
 }

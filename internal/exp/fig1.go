@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/report"
 )
 
@@ -19,16 +20,25 @@ type Fig1Result struct {
 
 // Fig1ExecutionTimes reproduces Fig. 1: whole-application execution time on
 // each of the five threading configurations, using the noiseless machine.
+// The (benchmark × configuration) cells are independent and fan out through
+// the parallel engine; the noiseless machine is pure, so the table is
+// identical at any GOMAXPROCS.
 func (s *Suite) Fig1ExecutionTimes() (*Fig1Result, error) {
 	res := &Fig1Result{
 		Configs: s.ConfigNames(),
 		TimeSec: make(map[string]map[string]float64, len(s.Benches)),
 	}
-	for _, b := range s.Benches {
-		row := make(map[string]float64, len(s.Configs))
-		for _, cfg := range s.Configs {
-			t, _, _ := s.runWhole(b, s.Truth, cfg)
-			row[cfg.Name] = t
+	nc := len(s.Configs)
+	cells := make([]float64, len(s.Benches)*nc)
+	parallel.ForEach(len(cells), func(i int) {
+		b, cfg := s.Benches[i/nc], s.Configs[i%nc]
+		t, _, _ := s.runWhole(b, s.Truth, cfg)
+		cells[i] = t
+	})
+	for bi, b := range s.Benches {
+		row := make(map[string]float64, nc)
+		for ci, cfg := range s.Configs {
+			row[cfg.Name] = cells[bi*nc+ci]
 		}
 		res.TimeSec[b.Name] = row
 		res.Order = append(res.Order, b.Name)

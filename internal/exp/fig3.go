@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/greenhpc/actor/internal/metrics"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/report"
 )
 
@@ -19,20 +20,28 @@ type Fig3Result struct {
 }
 
 // Fig3PowerEnergy reproduces Fig. 3: whole-run average power and energy per
-// configuration, using the modelled Watts Up Pro meter.
+// configuration, using the modelled Watts Up Pro meter. Cells fan out
+// across (benchmark × configuration) like Fig. 1.
 func (s *Suite) Fig3PowerEnergy() (*Fig3Result, error) {
 	res := &Fig3Result{
 		Configs: s.ConfigNames(),
 		PowerW:  make(map[string]map[string]float64, len(s.Benches)),
 		EnergyJ: make(map[string]map[string]float64, len(s.Benches)),
 	}
-	for _, b := range s.Benches {
-		pw := make(map[string]float64, len(s.Configs))
-		en := make(map[string]float64, len(s.Configs))
-		for _, cfg := range s.Configs {
-			_, p, e := s.runWhole(b, s.Truth, cfg)
-			pw[cfg.Name] = p
-			en[cfg.Name] = e
+	nc := len(s.Configs)
+	type cell struct{ power, energy float64 }
+	cells := make([]cell, len(s.Benches)*nc)
+	parallel.ForEach(len(cells), func(i int) {
+		b, cfg := s.Benches[i/nc], s.Configs[i%nc]
+		_, p, e := s.runWhole(b, s.Truth, cfg)
+		cells[i] = cell{p, e}
+	})
+	for bi, b := range s.Benches {
+		pw := make(map[string]float64, nc)
+		en := make(map[string]float64, nc)
+		for ci, cfg := range s.Configs {
+			pw[cfg.Name] = cells[bi*nc+ci].power
+			en[cfg.Name] = cells[bi*nc+ci].energy
 		}
 		res.PowerW[b.Name] = pw
 		res.EnergyJ[b.Name] = en

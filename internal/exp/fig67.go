@@ -7,6 +7,7 @@ import (
 	"github.com/greenhpc/actor/internal/core"
 	"github.com/greenhpc/actor/internal/dataset"
 	"github.com/greenhpc/actor/internal/metrics"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/pmu"
 	"github.com/greenhpc/actor/internal/report"
 )
@@ -33,9 +34,16 @@ type LOOModels struct {
 // TrainLeaveOneOut collects counter samples for the whole suite and trains
 // one ANN predictor bank per benchmark under the paper's leave-one-out
 // protocol. This is the expensive step shared by Figs. 6, 7 and 8.
+//
+// Both stages run on the parallel engine: collection fans out across
+// (benchmark × phase × repetition) with per-task noise streams, and
+// training fans out across (held-out benchmark × target configuration ×
+// fold). Per-task seeds derive from (Options.Seed, task key), so the result
+// is bit-identical at any GOMAXPROCS.
 func (s *Suite) TrainLeaveOneOut() (*LOOModels, error) {
 	collector := dataset.NewCollector(s.Noisy, s.Truth)
 	collector.Repetitions = s.Opts.Repetitions
+	collector.NoiseBase = s.noiseBase.Fork("collect")
 	suiteSamples, err := collector.CollectSuite(s.Benches)
 	if err != nil {
 		return nil, err
@@ -45,18 +53,29 @@ func (s *Suite) TrainLeaveOneOut() (*LOOModels, error) {
 		Banks:        make(map[string]*core.Bank, len(s.Benches)),
 		EventCounts:  make(map[string]int, len(s.Benches)),
 	}
-	for _, b := range s.Benches {
+	type looBank struct {
+		bank       *core.Bank
+		eventCount int
+	}
+	banks, err := parallel.Map(len(s.Benches), func(i int) (looBank, error) {
+		b := s.Benches[i]
 		budget := pmu.SamplingBudget(b.Iterations, 0.20)
 		events := pmu.ReducedEventSet(budget)
 		train := dataset.LeaveOneOut(suiteSamples, b.Name)
 		cfg := s.Opts.ANN
-		cfg.Seed = s.Opts.Seed + int64(len(b.Name))*131
+		cfg.Seed = parallel.SeedFor(s.Opts.Seed, "loo/"+b.Name)
 		bank, err := core.TrainANNBank(train, []int{len(events)}, TargetConfigs, s.Opts.Folds, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("leave-one-out training for %s: %w", b.Name, err)
+			return looBank{}, fmt.Errorf("leave-one-out training for %s: %w", b.Name, err)
 		}
-		out.Banks[b.Name] = bank
-		out.EventCounts[b.Name] = len(events)
+		return looBank{bank: bank, eventCount: len(events)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range s.Benches {
+		out.Banks[b.Name] = banks[i].bank
+		out.EventCounts[b.Name] = banks[i].eventCount
 	}
 	return out, nil
 }
@@ -85,15 +104,27 @@ type Fig7Result struct {
 	PerBench map[string][]string
 }
 
+// benchEval is one benchmark's share of the Fig. 6/7 evaluation, computed
+// independently so benchmarks can fan out.
+type benchEval struct {
+	errors     []float64
+	selections []string   // per-phase selected config (Fig. 7 + PerBench)
+	rankings   [][]string // per-phase oracle ranking
+}
+
 // EvalPrediction runs the leave-one-out accuracy evaluation behind Figs. 6
-// and 7 using previously trained models.
+// and 7 using previously trained models. Benchmarks are scored in parallel
+// and merged in suite order, so the result is identical to a sequential
+// evaluation.
 func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error) {
 	f6 := &Fig6Result{}
 	f7 := &Fig7Result{
 		Hist:     metrics.NewRankHistogram(len(s.Configs)),
 		PerBench: make(map[string][]string, len(s.Benches)),
 	}
-	for _, b := range s.Benches {
+	evals, err := parallel.Map(len(s.Benches), func(i int) (benchEval, error) {
+		b := s.Benches[i]
+		var ev benchEval
 		bank := loo.Banks[b.Name]
 		budget := pmu.SamplingBudget(b.Iterations, 0.20)
 		pred := bank.Select(budget, 2)
@@ -115,10 +146,10 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 			for _, ps := range reps {
 				preds, err := pred.PredictIPC(ps.Rates)
 				if err != nil {
-					return nil, nil, err
+					return benchEval{}, err
 				}
 				for _, tgt := range TargetConfigs {
-					f6.Errors = append(f6.Errors,
+					ev.errors = append(ev.errors,
 						metrics.RelativeError(ps.MeasuredIPC[tgt], preds[tgt]))
 				}
 			}
@@ -127,7 +158,7 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 			ps := reps[0]
 			preds, err := pred.PredictIPC(ps.Rates)
 			if err != nil {
-				return nil, nil, err
+				return benchEval{}, err
 			}
 			bestName := "4"
 			bestIPC := ps.Rates[pmu.Instructions]
@@ -136,13 +167,24 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 					bestIPC, bestName = preds[tgt], tgt
 				}
 			}
-			ranking := core.RankConfigsByTime(&b.Phases[pi], b.Idiosyncrasy, s.Truth, s.Configs)
-			f7.Hist.Add(ranking, bestName)
-			f7.PerBench[b.Name] = append(f7.PerBench[b.Name], bestName)
+			ev.selections = append(ev.selections, bestName)
+			ev.rankings = append(ev.rankings,
+				core.RankConfigsByTime(&b.Phases[pi], b.Idiosyncrasy, s.Truth, s.Configs))
 		}
+		return ev, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, b := range s.Benches {
+		ev := evals[i]
+		f6.Errors = append(f6.Errors, ev.errors...)
+		for pi, sel := range ev.selections {
+			f7.Hist.Add(ev.rankings[pi], sel)
+		}
+		f7.PerBench[b.Name] = ev.selections
 	}
 
-	var err error
 	f6.MedianErr, err = metrics.Median(f6.Errors)
 	if err != nil {
 		return nil, nil, err

@@ -6,6 +6,7 @@ import (
 
 	"github.com/greenhpc/actor/internal/core"
 	"github.com/greenhpc/actor/internal/metrics"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/report"
 )
 
@@ -34,27 +35,51 @@ type Fig8Result struct {
 // concurrency capped at 20% of iterations), and every strategy pays
 // cache-warmth migration penalties when consecutive phases run on
 // different placements.
+//
+// The (benchmark × strategy) replays are independent and fan out through
+// the parallel engine. Each task's measurement machine draws noise from a
+// stream forked under the task's key, so the figure is bit-identical at
+// any GOMAXPROCS; all tasks share the suite's phase-response memo, so each
+// distinct (phase, placement) is solved only once across the whole figure.
 func (s *Suite) Fig8Throttling(loo *LOOModels) (*Fig8Result, error) {
 	res := &Fig8Result{Rows: make(map[string]*Fig8Row, len(s.Benches))}
-	env := core.NewEnv(s.Noisy, s.Truth, s.Power)
-	for _, b := range s.Benches {
+	base := s.noiseBase.Fork("fig8")
+	ns := len(Fig8Strategies)
+	runs, err := parallel.Map(len(s.Benches)*ns, func(i int) (core.RunResult, error) {
+		b, name := s.Benches[i/ns], Fig8Strategies[i%ns]
+		var strat core.Strategy
+		switch name {
+		case "4 Cores":
+			strat = &core.Static{Config: "4"}
+		case "Global Optimal":
+			strat = core.OracleGlobal{}
+		case "Phase Optimal":
+			strat = core.OraclePhase{}
+		case "Prediction":
+			strat = &core.Prediction{Bank: loo.Banks[b.Name]}
+		default:
+			return core.RunResult{}, fmt.Errorf("fig8: unknown strategy %q", name)
+		}
+		noisy := s.Noisy.WithNoiseSource(base.Fork(b.Name + "/" + name))
+		env := core.NewEnv(noisy, s.Truth, s.Power)
+		r, err := strat.Run(b, env)
+		if err != nil {
+			return core.RunResult{}, fmt.Errorf("fig8 %s/%s: %w", b.Name, name, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, b := range s.Benches {
 		row := &Fig8Row{
 			TimeSec: map[string]float64{},
 			PowerW:  map[string]float64{},
 			EnergyJ: map[string]float64{},
 			ED2:     map[string]float64{},
 		}
-		strategies := map[string]core.Strategy{
-			"4 Cores":        &core.Static{Config: "4"},
-			"Global Optimal": core.OracleGlobal{},
-			"Phase Optimal":  core.OraclePhase{},
-			"Prediction":     &core.Prediction{Bank: loo.Banks[b.Name]},
-		}
-		for _, name := range Fig8Strategies {
-			r, err := strategies[name].Run(b, env)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s/%s: %w", b.Name, name, err)
-			}
+		for si, name := range Fig8Strategies {
+			r := runs[bi*ns+si]
 			row.TimeSec[name] = r.TimeSec
 			row.PowerW[name] = r.AvgPowerW
 			row.EnergyJ[name] = r.EnergyJ

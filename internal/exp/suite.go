@@ -72,6 +72,11 @@ func FastOptions() Options {
 // Suite bundles the experimental platform: the quad-core Xeon model in
 // noiseless (oracle) and noisy (measurement) forms, the power model, the
 // configuration space and the NPB workloads.
+//
+// Both machines carry a shared phase-response memo (machine.WithMemo): the
+// deterministic part of every (phase, placement, frequency) execution is
+// computed once and reused by oracles, figure drivers and strategy replays
+// alike.
 type Suite struct {
 	Opts    Options
 	Truth   *machine.Machine
@@ -79,6 +84,11 @@ type Suite struct {
 	Power   *power.Model
 	Configs []topology.Placement
 	Benches []*workload.Benchmark
+
+	// noiseBase is the root of all per-task noise streams the parallel
+	// evaluation engine forks (see internal/parallel's determinism
+	// contract).
+	noiseBase *noise.Source
 }
 
 // NewSuite constructs the platform used by every experiment.
@@ -90,15 +100,17 @@ func NewSuite(opts Options) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	truth = truth.WithMemo()
 	src := noise.New(opts.Seed)
 	noisy := truth.WithNoise(src.Fork("machine"), opts.TimeSigma, opts.CountSigma)
 	return &Suite{
-		Opts:    opts,
-		Truth:   truth,
-		Noisy:   noisy,
-		Power:   power.Default(),
-		Configs: topology.PaperConfigs(),
-		Benches: npb.All(),
+		Opts:      opts,
+		Truth:     truth,
+		Noisy:     noisy,
+		Power:     power.Default(),
+		Configs:   topology.PaperConfigs(),
+		Benches:   npb.All(),
+		noiseBase: src,
 	}, nil
 }
 

@@ -86,6 +86,10 @@ type Machine struct {
 	// memory-bound phases lose little performance while dynamic power
 	// falls roughly cubically. See WithFrequency.
 	freqScale float64
+
+	// memo, when non-nil, caches the deterministic part of RunPhase.
+	// Shared across WithNoise/WithFrequency copies; see WithMemo.
+	memo *phaseMemo
 }
 
 // New builds a machine for the topology with default parameters and no
@@ -133,6 +137,16 @@ func (m *Machine) WithNoise(src *noise.Source, timeSigma, countSigma float64) *M
 	cp.noiseSrc = src
 	cp.timeSigma = timeSigma
 	cp.countSigma = countSigma
+	return &cp
+}
+
+// WithNoiseSource returns a copy of the machine drawing measurement noise
+// from src at the machine's existing sigmas. The parallel evaluation engine
+// forks one source per task from a (seed, task key) pair so that every
+// task's noise stream is private and independent of execution order.
+func (m *Machine) WithNoiseSource(src *noise.Source) *Machine {
+	cp := *m
+	cp.noiseSrc = src
 	return &cp
 }
 
@@ -185,7 +199,27 @@ type Activity struct {
 // placement pl and returns the modelled result. It panics on invalid
 // placements (no cores); profile validity is the caller's responsibility
 // (see workload.PhaseProfile.Validate).
+//
+// The deterministic part of the result is served from the phase memo when
+// one is enabled (see WithMemo); measurement noise, when configured, is
+// drawn per call and applied after, so noisy results keep their run-to-run
+// variance while the expensive fixed-point solve is shared.
 func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
+	var res Result
+	if m.memo != nil && p.Fingerprint != "" {
+		res = m.memo.lookup(m, p, idio, pl)
+	} else {
+		res = m.computePhase(p, idio, pl)
+	}
+	if m.noiseSrc != nil {
+		m.perturb(&res)
+	}
+	return res
+}
+
+// computePhase is the deterministic phase model — everything RunPhase does
+// except measurement noise.
+func (m *Machine) computePhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
 	n := pl.Threads()
 	if n == 0 {
 		panic("machine: placement with no cores")
@@ -314,7 +348,7 @@ func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.P
 		FreqScale:        m.clockScale(),
 	}
 
-	res := Result{
+	return Result{
 		TimeSec:      timeSec,
 		WallCycles:   wallCycles,
 		AggIPC:       p.Instructions / wallCycles,
@@ -322,10 +356,6 @@ func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.P
 		Counts:       counts,
 		Activity:     act,
 	}
-	if m.noiseSrc != nil {
-		m.perturb(&res)
-	}
-	return res
 }
 
 // threadCPI composes one thread's cycles-per-instruction from core, branch,
@@ -410,13 +440,16 @@ func (m *Machine) eventCounts(p *workload.PhaseProfile, pl topology.Placement, m
 }
 
 // perturb applies run-to-run measurement noise to a result in place.
+// Events are perturbed in catalogue order so the draws a result consumes
+// from the noise stream are deterministic (the old map-backed Counts
+// iterated in random order, silently breaking seed reproducibility).
 func (m *Machine) perturb(r *Result) {
 	tf := m.noiseSrc.Multiplicative(m.timeSigma)
 	r.TimeSec *= tf
 	r.WallCycles *= tf
 	r.AggIPC /= tf
 	r.Activity.TimeSec = r.TimeSec
-	for e, v := range r.Counts {
+	for e := pmu.Event(0); int(e) < pmu.NumEvents; e++ {
 		if e == pmu.Instructions {
 			continue // retirement counts are exact
 		}
@@ -424,7 +457,7 @@ func (m *Machine) perturb(r *Result) {
 			r.Counts[e] = r.WallCycles
 			continue
 		}
-		r.Counts[e] = v * m.noiseSrc.Multiplicative(m.countSigma)
+		r.Counts[e] *= m.noiseSrc.Multiplicative(m.countSigma)
 	}
 }
 

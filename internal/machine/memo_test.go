@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/greenhpc/actor/internal/noise"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+func TestMemoServesIdenticalResults(t *testing.T) {
+	plain := newMachine(t)
+	memod := plain.WithMemo()
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("2a")
+
+	want := plain.RunPhase(&p, 0.1, cfg)
+	first := memod.RunPhase(&p, 0.1, cfg)  // miss: computes + fills
+	second := memod.RunPhase(&p, 0.1, cfg) // hit: served from cache
+	for name, got := range map[string]Result{"first": first, "second": second} {
+		if !memoEquivalent(got.TimeSec, want.TimeSec) ||
+			!memoEquivalent(got.AggIPC, want.AggIPC) ||
+			got.Counts != want.Counts {
+			t.Errorf("%s memoised result differs from direct computation", name)
+		}
+	}
+	if hits, misses := memod.MemoStats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if plainHits, _ := plain.MemoStats(); plainHits != 0 {
+		t.Error("memo leaked into the non-memoised machine")
+	}
+}
+
+func TestMemoKeyDiscriminates(t *testing.T) {
+	m := newMachine(t).WithMemo()
+	p := testPhase()
+	cfg2a, _ := topology.ConfigByName("2a")
+	cfg2b, _ := topology.ConfigByName("2b")
+
+	a := m.RunPhase(&p, 0.1, cfg2a)
+	if b := m.RunPhase(&p, 0.1, cfg2b); a.TimeSec == b.TimeSec {
+		t.Error("different placements memoised to the same result")
+	}
+	if c := m.RunPhase(&p, 0.3, cfg2a); a.TimeSec == c.TimeSec {
+		t.Error("different idiosyncrasy memoised to the same result")
+	}
+	if d := m.WithFrequency(0.5).RunPhase(&p, 0.1, cfg2a); a.TimeSec == d.TimeSec {
+		t.Error("different frequency memoised to the same result")
+	}
+}
+
+func TestMemoSharedWithNoiseForkKeepsVariance(t *testing.T) {
+	truth := newMachine(t).WithMemo()
+	noisy := truth.WithNoise(noise.New(7), 0.05, 0.1)
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("4")
+
+	base := truth.RunPhase(&p, 0.1, cfg)
+	r1 := noisy.RunPhase(&p, 0.1, cfg)
+	r2 := noisy.RunPhase(&p, 0.1, cfg)
+	if r1.TimeSec == r2.TimeSec {
+		t.Error("noisy runs served identical (unperturbed?) times from the memo")
+	}
+	if r1.TimeSec == base.TimeSec {
+		t.Error("noise not applied on top of memoised result")
+	}
+	if hits, misses := truth.MemoStats(); hits != 2 || misses != 1 {
+		t.Errorf("noisy fork did not share the memo: %d hits / %d misses", hits, misses)
+	}
+}
+
+func TestMemoConcurrentAccess(t *testing.T) {
+	m := newMachine(t).WithMemo()
+	p := testPhase()
+	cfgs := topology.PaperConfigs()
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = m.RunPhase(&p, 0.1, cfg)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, cfg := range cfgs {
+				if got := m.RunPhase(&p, 0.1, cfg); got.TimeSec != want[i].TimeSec {
+					t.Errorf("concurrent lookup for %s diverged", cfg.Name)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMemoPerThreadIPCIsPrivate(t *testing.T) {
+	m := newMachine(t).WithMemo()
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("4")
+	r1 := m.RunPhase(&p, 0.1, cfg)
+	r1.PerThreadIPC[0] = -1 // caller scribbles on its copy
+	if r2 := m.RunPhase(&p, 0.1, cfg); r2.PerThreadIPC[0] == -1 {
+		t.Error("cache handed out a shared PerThreadIPC slice")
+	}
+}

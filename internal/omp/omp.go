@@ -61,11 +61,22 @@ func (t *Team) Threads() int {
 	return t.threads
 }
 
+// snapshot reads the thread count exactly once at construct entry. Every
+// parallel construct sizes itself from one snapshot so a concurrent
+// SetThreads (ACTOR throttling between phases) cannot tear a running
+// region: the construct that observed n threads starts n workers, waits
+// for n workers, and reports n to every body — the next construct sees
+// the new count.
+func (t *Team) snapshot() int {
+	return t.Threads()
+}
+
 // ParallelRegion runs fn concurrently on every team member, passing the
 // member id and the team size, and returns when all members finish — an
-// `omp parallel` block.
+// `omp parallel` block. The team size is snapshotted once at entry; see
+// snapshot.
 func (t *Team) ParallelRegion(fn func(tid, nthreads int)) {
-	n := t.Threads()
+	n := t.snapshot()
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for tid := 0; tid < n; tid++ {
@@ -90,12 +101,13 @@ func (t *Team) ParallelFor(n int, body func(i int)) {
 
 // ParallelBlocks statically partitions [0, n) into one block per thread and
 // runs body(lo, hi) on each — the bulk form of ParallelFor, avoiding
-// per-iteration closure overhead for inner loops.
+// per-iteration closure overhead for inner loops. The team size is
+// snapshotted once at entry; see snapshot.
 func (t *Team) ParallelBlocks(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	nt := t.Threads()
+	nt := t.snapshot()
 	if nt > n {
 		nt = n
 	}
@@ -129,7 +141,7 @@ func (t *Team) ParallelForDynamic(n, chunk int, body func(lo, hi int)) {
 	if chunk < 1 {
 		chunk = 1
 	}
-	nt := t.Threads()
+	nt := t.snapshot()
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(nt)
@@ -155,7 +167,7 @@ func (t *Team) ParallelForDynamic(n, chunk int, body func(lo, hi int)) {
 // Reduce runs body(tid, nthreads) on every member and combines the returned
 // partials with combine — an `omp parallel reduction`.
 func (t *Team) Reduce(body func(tid, nthreads int) float64, combine func(a, b float64) float64) float64 {
-	n := t.Threads()
+	n := t.snapshot()
 	parts := make([]float64, n)
 	var wg sync.WaitGroup
 	wg.Add(n)

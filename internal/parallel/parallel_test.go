@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 1000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialWhenGOMAXPROCS1(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	order := make([]int, 0, 5)
+	ForEach(5, func(i int) { order = append(order, i) }) // no races: w == 1
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential fallback out of order: %v", order)
+		}
+	}
+}
+
+func TestForEachNestedRunsEveryLeafOnce(t *testing.T) {
+	// Three levels deep (benches × targets × folds shape): every leaf must
+	// run exactly once and the call must terminate even when the shared
+	// extra-worker budget is exhausted at the outer levels.
+	const a, b, c = 5, 4, 6
+	hits := make([]int32, a*b*c)
+	ForEach(a, func(i int) {
+		ForEach(b, func(j int) {
+			ForEach(c, func(k int) {
+				atomic.AddInt32(&hits[(i*b+j)*c+k], 1)
+			})
+		})
+	})
+	for idx, h := range hits {
+		if h != 1 {
+			t.Fatalf("leaf %d ran %d times", idx, h)
+		}
+	}
+	if got := extraWorkers.Load(); got != 0 {
+		t.Fatalf("extra-worker budget leaked: %d still registered", got)
+	}
+}
+
+func TestMapOrdersResultsAndErrors(t *testing.T) {
+	errBoom := errors.New("boom")
+	out, err := Map(10, func(i int) (int, error) {
+		if i == 7 || i == 3 {
+			return 0, errBoom
+		}
+		return i * i, nil
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v", err)
+	}
+	if out[2] != 4 || out[9] != 81 {
+		t.Fatalf("results misplaced: %v", out)
+	}
+}
+
+func TestFirstErrorPicksLowestIndex(t *testing.T) {
+	e1, e2 := errors.New("one"), errors.New("two")
+	if got := FirstError([]error{nil, e1, e2}); got != e1 {
+		t.Fatalf("FirstError = %v, want %v", got, e1)
+	}
+	if got := FirstError([]error{nil, nil}); got != nil {
+		t.Fatalf("FirstError = %v, want nil", got)
+	}
+}
+
+func TestSeedForStableAndDistinct(t *testing.T) {
+	a := SeedFor(42, "bench/BT/phase0")
+	if b := SeedFor(42, "bench/BT/phase0"); b != a {
+		t.Fatal("SeedFor not stable")
+	}
+	seen := map[int64]string{a: "bench/BT/phase0"}
+	for _, key := range []string{"bench/BT/phase1", "bench/CG/phase0", "x", ""} {
+		s := SeedFor(42, key)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %q and %q", prev, key)
+		}
+		seen[s] = key
+	}
+	if SeedFor(1, "k") == SeedFor(2, "k") {
+		t.Fatal("base seed ignored")
+	}
+}

@@ -117,8 +117,11 @@ func ReducedEventSet(maxPairs int) []Event {
 }
 
 // Counts is a single sampling observation: raw event counts accumulated
-// over one measured interval.
-type Counts map[Event]float64
+// over one measured interval, indexed by Event. It is a fixed-size array
+// rather than a map so that producing, copying and perturbing counts in the
+// machine model's hot path allocates nothing; an event the hardware did not
+// measure simply reads zero.
+type Counts [NumEvents]float64
 
 // Rates converts raw counts into per-cycle event rates, the feature form
 // the ANN consumes. Instructions become IPC; every programmable event is
@@ -128,12 +131,12 @@ func (c Counts) Rates() Rates {
 	if cyc <= 0 {
 		return nil
 	}
-	r := make(Rates, len(c))
-	for e, v := range c {
+	r := make(Rates, NumEvents)
+	for e := Event(0); int(e) < NumEvents; e++ {
 		if e == Cycles {
 			continue
 		}
-		r[e] = v / cyc
+		r[e] = c[e] / cyc
 	}
 	return r
 }
@@ -146,10 +149,20 @@ type Rates map[Event]float64
 // yield zeros (the model treats unmeasured features as average after
 // normalisation).
 func (r Rates) Vector(events []Event) []float64 {
-	v := make([]float64, 1+len(events))
-	v[0] = r[Instructions]
-	for i, e := range events {
-		v[1+i] = r[e]
+	return r.VectorInto(nil, events)
+}
+
+// VectorInto is the allocation-free form of Vector: it writes the feature
+// vector into dst (grown if too small) and returns the filled slice.
+func (r Rates) VectorInto(dst []float64, events []Event) []float64 {
+	n := 1 + len(events)
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return v
+	dst = dst[:n]
+	dst[0] = r[Instructions]
+	for i, e := range events {
+		dst[1+i] = r[e]
+	}
+	return dst
 }

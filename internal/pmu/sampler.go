@@ -32,15 +32,18 @@ func (f *CounterFile) Program(events ...Event) error {
 	if len(events) > f.width {
 		return fmt.Errorf("pmu: %d events exceed counter width %d", len(events), f.width)
 	}
-	seen := make(map[Event]bool, len(events))
-	for _, e := range events {
+	for i, e := range events {
+		if e < 0 || int(e) >= NumEvents {
+			return fmt.Errorf("pmu: unknown event %v", e)
+		}
 		if !e.Programmable() {
 			return fmt.Errorf("pmu: %v is a fixed counter", e)
 		}
-		if seen[e] {
-			return fmt.Errorf("pmu: duplicate event %v", e)
+		for j := 0; j < i; j++ {
+			if events[j] == e {
+				return fmt.Errorf("pmu: duplicate event %v", e)
+			}
 		}
-		seen[e] = true
 	}
 	f.programmed = append(f.programmed[:0], events...)
 	return nil
@@ -88,10 +91,13 @@ func PlanRotation(events []Event, width, maxRounds int) (*RotationPlan, error) {
 		return nil, errors.New("pmu: width must be ≥ 1")
 	}
 	var prog []Event
-	seen := make(map[Event]bool)
+	var seen [NumEvents]bool
 	for _, e := range events {
 		if !e.Programmable() {
 			continue // fixed counters are always collected
+		}
+		if e < 0 || int(e) >= NumEvents {
+			return nil, fmt.Errorf("pmu: unknown event %v in rotation request", e)
 		}
 		if seen[e] {
 			return nil, fmt.Errorf("pmu: duplicate event %v in rotation request", e)
@@ -126,8 +132,8 @@ type Sampler struct {
 	file    *CounterFile
 	plan    *RotationPlan
 	round   int
-	summed  map[Event]float64 // sum of per-cycle rates per event
-	nSeen   map[Event]int     // observations per event
+	summed  [NumEvents]float64 // sum of per-cycle rates per event
+	nSeen   [NumEvents]int     // observations per event
 	ipcSum  float64
 	ipcSeen int
 }
@@ -135,10 +141,8 @@ type Sampler struct {
 // NewSampler builds a sampler for the plan on the counter file.
 func NewSampler(file *CounterFile, plan *RotationPlan) *Sampler {
 	return &Sampler{
-		file:   file,
-		plan:   plan,
-		summed: make(map[Event]float64),
-		nSeen:  make(map[Event]int),
+		file: file,
+		plan: plan,
 	}
 }
 
@@ -165,14 +169,14 @@ func (s *Sampler) Observe(truth Counts) error {
 		return err
 	}
 	visible := s.file.Read(truth)
-	rates := visible.Rates()
-	if rates == nil {
+	cyc := visible[Cycles]
+	if cyc <= 0 {
 		return errors.New("pmu: observation with zero cycles")
 	}
-	s.ipcSum += rates[Instructions]
+	s.ipcSum += visible[Instructions] / cyc
 	s.ipcSeen++
 	for _, e := range s.plan.Rounds[s.round] {
-		s.summed[e] += rates[e]
+		s.summed[e] += visible[e] / cyc
 		s.nSeen[e]++
 	}
 	s.round++
@@ -183,12 +187,14 @@ func (s *Sampler) Observe(truth Counts) error {
 // with Rates[Instructions] the mean sampled IPC. Unmeasured events are
 // absent from the map.
 func (s *Sampler) Rates() Rates {
-	r := make(Rates, len(s.summed)+1)
+	r := make(Rates, NumEvents)
 	if s.ipcSeen > 0 {
 		r[Instructions] = s.ipcSum / float64(s.ipcSeen)
 	}
-	for e, sum := range s.summed {
-		r[e] = sum / float64(s.nSeen[e])
+	for e := Event(0); int(e) < NumEvents; e++ {
+		if s.nSeen[e] > 0 {
+			r[e] = s.summed[e] / float64(s.nSeen[e])
+		}
 	}
 	return r
 }

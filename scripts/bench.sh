@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite with -benchmem and write a JSON
+# snapshot (default BENCH_1.json) so future PRs have a perf trajectory.
+#
+# Usage: scripts/bench.sh [outfile.json] [bench regexp] [benchtime]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_1.json}"
+PATTERN="${2:-.}"
+BENCHTIME="${3:-1s}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run ^$ -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+# Convert `name  iters  123 ns/op  45 B/op  6 allocs/op  [extra unit]...`
+# lines into a JSON object keyed by benchmark name.
+awk '
+BEGIN { print "{"; first = 1 }
+/^goos:/    { goos = $2 }
+/^goarch:/  { goarch = $2 }
+/^cpu:/     { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    metrics = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        val = $i; unit = $(i + 1)
+        gsub(/[^A-Za-z0-9_.%\/-]/, "", unit)
+        gsub(/\//, "_per_", unit)
+        gsub(/[%.-]/, "_", unit)
+        if (metrics != "") metrics = metrics ", "
+        metrics = metrics "\"" unit "\": " val
+    }
+    if (!first) printf ",\n"
+    first = 0
+    printf "  \"%s\": {\"iterations\": %s, %s}", name, iters, metrics
+}
+END {
+    if (!first) printf ",\n"
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"bench\": \"env GOMAXPROCS=%s\"}\n", goos, goarch, cpu, ENVIRON["GOMAXPROCS"]
+    print "}"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
