@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json fmt vet ci clean
+.PHONY: build test race bench bench-json bench-smoke trend fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,20 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-## bench-json: snapshot the benchmark suite into BENCH_1.json so future
-## PRs can diff the perf trajectory (see PERFORMANCE.md).
+## bench-json: snapshot the benchmark suite into the next numbered
+## BENCH_<n>.json so future PRs can diff the perf trajectory (see
+## PERFORMANCE.md).
 bench-json:
-	scripts/bench.sh BENCH_1.json
+	scripts/bench.sh
+
+## bench-smoke: run every benchmark exactly once — keeps the bench suite
+## compiling and executing without paying for real measurements (CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+## trend: print ns/op and allocs/op deltas across all BENCH_<n>.json.
+trend:
+	$(GO) run scripts/bench_trend.go
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

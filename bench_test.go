@@ -430,6 +430,27 @@ func BenchmarkANNTrain(b *testing.B) {
 	}
 }
 
+// BenchmarkANNTrainBatched is BenchmarkANNTrain on the mini-batch GEMM
+// engine (Config.BatchSize = 8) — the inner-loop configuration the
+// evaluation pipeline trains with (see exp.FastOptions).
+func BenchmarkANNTrainBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]ann.Sample, 200)
+	for i := range samples {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		samples[i] = ann.Sample{X: x, Y: x[0]*x[1] - x[2]}
+	}
+	cfg := ann.DefaultConfig()
+	cfg.MaxEpochs = 50
+	cfg.BatchSize = 8
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ann.Train(samples[:160], samples[160:], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMLRFit(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	samples := make([]ann.Sample, 400)

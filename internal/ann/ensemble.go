@@ -30,6 +30,15 @@ type Ensemble struct {
 // deterministic shuffle under cfg.Seed; member i uses fold i for early
 // stopping, fold (i+1) mod k for its generalisation estimate, and the rest
 // for training. Members train concurrently.
+//
+// Folds are index views into one packed, normalised corpus — no sample is
+// copied per fold. With cfg.WarmStartEpochs > 0, a single base network is
+// first trained on all folds but fold 0 (early-stopping on fold 0), and
+// every member then fine-tunes a copy of the base weights for at most
+// WarmStartEpochs epochs on its own folds. The base has seen each member's
+// estimate fold, so EstimateMSE is slightly optimistic in warm-start mode;
+// the paper-level leave-one-out evaluation is unaffected because the
+// held-out benchmark never enters any fold.
 func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
 	if k < 3 {
 		return nil, errors.New("ann: ensemble needs k ≥ 3 folds (train/stop/estimate)")
@@ -41,15 +50,34 @@ func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
 	if err != nil {
 		return nil, err
 	}
-	norm := scaler.Apply(samples)
+	ds, err := scaler.pack(samples)
+	if err != nil {
+		return nil, err
+	}
 
-	// Deterministic shuffled fold assignment.
+	// Deterministic shuffled fold assignment: fold f holds the packed rows
+	// assigned to it, in assignment order — the same sample sequence the
+	// copying implementation produced.
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
-	idx := rng.Perm(len(norm))
-	folds := make([][]Sample, k)
+	idx := rng.Perm(ds.n())
+	foldIdx := make([][]int, k)
 	for i, id := range idx {
 		f := i % k
-		folds[f] = append(folds[f], norm[id])
+		foldIdx[f] = append(foldIdx[f], id)
+	}
+
+	var base *Network
+	if cfg.WarmStartEpochs > 0 {
+		var trainIdx []int
+		for f := 1; f < k; f++ {
+			trainIdx = append(trainIdx, foldIdx[f]...)
+		}
+		bcfg := cfg
+		bcfg.Seed = cfg.Seed ^ 0x7a57 // base draws its own init/shuffle stream
+		base, _, err = trainCore(ds, trainIdx, ds, foldIdx[0], nil, bcfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	ens := &Ensemble{Nets: make([]*Network, k), Scaler: scaler}
@@ -58,21 +86,29 @@ func TrainEnsemble(samples []Sample, k int, cfg Config) (*Ensemble, error) {
 	parallel.ForEach(k, func(member int) {
 		stopFold := member
 		estFold := (member + 1) % k
-		var train []Sample
-		for f := range folds {
+		var trainIdx []int
+		for f := range foldIdx {
 			if f != stopFold && f != estFold {
-				train = append(train, folds[f]...)
+				trainIdx = append(trainIdx, foldIdx[f]...)
 			}
 		}
 		mcfg := cfg
 		mcfg.Seed = cfg.Seed + int64(member)*7919
-		net, _, err := Train(train, folds[stopFold], mcfg)
+		if base != nil {
+			// Fine-tuning starts next to a minimum the base already
+			// found, so cap the epochs and halve the patience — a fold
+			// whose validation error stalls this close to convergence
+			// is done, not warming up.
+			mcfg.MaxEpochs = cfg.WarmStartEpochs
+			mcfg.Patience = (cfg.Patience + 1) / 2
+		}
+		net, _, err := trainCore(ds, trainIdx, ds, foldIdx[stopFold], base, mcfg)
 		if err != nil {
 			errs[member] = err
 			return
 		}
 		ens.Nets[member] = net
-		estimates[member] = net.MSE(folds[estFold])
+		estimates[member] = net.mseIdx(ds, foldIdx[estFold])
 	})
 	if err := parallel.FirstError(errs); err != nil {
 		return nil, err

@@ -10,6 +10,18 @@
 // backprop passes run on reusable scratch buffers, so prediction allocates
 // nothing in steady state — the predictor sits on the runtime's
 // decision path, where allocation churn is measurable.
+//
+// Training has two engines sharing one packed corpus (normalised samples in
+// flat row-major matrices; folds, batches and validation sets are index
+// views into it). The default is the original per-sample stochastic pass.
+// Config.BatchSize > 1 switches the inner loop to the mini-batch kernels in
+// gemm.go — fused dense-forward/backward/update passes over B samples at a
+// time — and Config.WarmStartEpochs > 0 makes TrainEnsemble fine-tune every
+// fold from one shared base model instead of training each from scratch.
+// Both knobs preserve determinism under a seed (fixed shuffle → fixed batch
+// partition) and at batch size one the batched pass is bit-identical to the
+// per-sample pass; together they make leave-one-out training the pipeline's
+// fast path (see PERFORMANCE.md).
 package ann
 
 import (
@@ -72,9 +84,11 @@ func NewNetwork(sizes []int, rng *rand.Rand) (*Network, error) {
 }
 
 // sigmoid is the logistic activation used by all hidden units (Fig. 5 of
-// the paper).
+// the paper). The exponential is the polynomial fastExp (see gemm.go),
+// shared by the per-sample and batched passes so the two stay bit-identical
+// with each other.
 func sigmoid(x float64) float64 {
-	return 1 / (1 + math.Exp(-x))
+	return 1 / (1 + fastExp(-x))
 }
 
 // scratch holds the per-call working memory of forward and backprop:

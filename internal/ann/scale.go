@@ -93,6 +93,15 @@ func (sc *Scaler) InvY(y float64) float64 {
 	return sc.YMin + (y-0.1)/0.8*(sc.YMax-sc.YMin)
 }
 
+// pack normalises a whole sample set straight into a packed dataSet — the
+// allocation-lean form of Apply the ensemble trainer uses (two flat buffers
+// instead of one X slice per sample). Values are identical to Apply's.
+func (sc *Scaler) pack(samples []Sample) (*dataSet, error) {
+	return packWith(samples, len(sc.Mean),
+		func(dst, x []float64) { sc.XInto(dst, x) },
+		sc.Y)
+}
+
 // Apply transforms a whole sample set.
 func (sc *Scaler) Apply(samples []Sample) []Sample {
 	out := make([]Sample, len(samples))

@@ -2,6 +2,7 @@ package ann
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -30,11 +31,32 @@ type Config struct {
 	Patience int
 	// Seed makes training deterministic.
 	Seed int64
+	// BatchSize is the mini-batch size B of the fused GEMM training pass.
+	// 0 or 1 (the default) selects per-sample stochastic backprop — the
+	// classic update rule, which the batched pass reproduces bit-for-bit
+	// at B = 1. Larger values process B samples per fused
+	// forward/backward/update call with summed (not averaged) gradients,
+	// so one batch step approximates B consecutive per-sample steps at
+	// the same learning rate. The epoch shuffle is unchanged and batches
+	// are consecutive chunks of the shuffled order (fixed shuffle → fixed
+	// batch partition), so training remains deterministic under Seed at
+	// any GOMAXPROCS.
+	BatchSize int
+	// WarmStartEpochs, when > 0, switches TrainEnsemble to warm-start
+	// mode: one base network is trained per ensemble on (almost) the full
+	// dataset, and each fold member then fine-tunes a copy of the base
+	// weights for at most WarmStartEpochs epochs instead of training from
+	// random initialisation for MaxEpochs. Folds share all but 2/k of
+	// their data, so fine-tuning converges in a fraction of the epochs.
+	// 0 (the default) keeps the sequential-equivalent cold-start
+	// behaviour. See TrainEnsemble for the fold protocol.
+	WarmStartEpochs int
 }
 
 // DefaultConfig returns the training configuration used throughout the
 // reproduction: one 16-unit hidden layer, η = 0.05, μ = 0.5, up to 400
-// epochs with patience 25.
+// epochs with patience 25, per-sample updates and cold-start ensembles
+// (BatchSize and WarmStartEpochs are opt-in performance knobs).
 func DefaultConfig() Config {
 	return Config{
 		Hidden:       []int{16},
@@ -61,56 +83,108 @@ type TrainResult struct {
 // network is the snapshot with the best validation error seen (not the last
 // epoch's weights). Inputs must be pre-normalised; see Scaler.
 func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
+	return TrainFrom(nil, train, valid, cfg)
+}
+
+// TrainFrom is Train with a warm start: when init is non-nil, training
+// fine-tunes a copy of init's weights instead of a fresh random
+// initialisation (init itself is never mutated). The init topology must
+// match the one cfg.Hidden and the sample dimension imply. cfg.Seed still
+// drives the epoch shuffles, so fine-tuning is deterministic.
+func TrainFrom(init *Network, train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 	if len(train) == 0 {
 		return nil, TrainResult{}, errors.New("ann: empty training set")
 	}
 	inDim := len(train[0].X)
-	for _, s := range train {
-		if len(s.X) != inDim {
-			return nil, TrainResult{}, errors.New("ann: inconsistent feature dimensions")
-		}
-	}
-	for _, s := range valid {
-		if len(s.X) != inDim {
-			return nil, TrainResult{}, errors.New("ann: inconsistent feature dimensions")
-		}
-	}
-	sizes := append([]int{inDim}, cfg.Hidden...)
-	sizes = append(sizes, 1)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	net, err := NewNetwork(sizes, rng)
+	ds, err := packSamples(train, inDim)
 	if err != nil {
 		return nil, TrainResult{}, err
 	}
+	vds, err := packSamples(valid, inDim)
+	if err != nil {
+		return nil, TrainResult{}, err
+	}
+	return trainCore(ds, identityIdx(ds.n()), vds, identityIdx(vds.n()), init, cfg)
+}
 
-	// All working memory for the whole training run is allocated once here
-	// and reused across every epoch and sample.
-	vel := net.zeroLike()
-	sc := net.getScratch()
-	order := make([]int, len(train))
-	for i := range order {
-		order[i] = i
+// trainCore is the trainer both public entry points and TrainEnsemble
+// share: it fits a network to the trainIdx rows of ds, early-stopping on
+// the validIdx rows of vds (vds may alias ds — fold views are index slices
+// into one packed corpus). With init non-nil it fine-tunes a copy of init.
+func trainCore(ds *dataSet, trainIdx []int, vds *dataSet, validIdx []int, init *Network, cfg Config) (*Network, TrainResult, error) {
+	if len(trainIdx) == 0 {
+		return nil, TrainResult{}, errors.New("ann: empty training set")
+	}
+	sizes := append([]int{ds.d}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var net *Network
+	if init != nil {
+		if len(init.Sizes) != len(sizes) {
+			return nil, TrainResult{}, fmt.Errorf("ann: warm-start topology %v, want %v", init.Sizes, sizes)
+		}
+		for i, s := range sizes {
+			if init.Sizes[i] != s {
+				return nil, TrainResult{}, fmt.Errorf("ann: warm-start topology %v, want %v", init.Sizes, sizes)
+			}
+		}
+		net = init.Clone()
+	} else {
+		var err error
+		net, err = NewNetwork(sizes, rng)
+		if err != nil {
+			return nil, TrainResult{}, err
+		}
 	}
 
-	best := net.Clone()
+	// All working memory for the whole training run is allocated once here
+	// and reused across every epoch and batch. The shuffled order holds
+	// dataset row ids directly: shuffling the id slice applies the same
+	// permutation the legacy position shuffle did, sample for sample.
+	batch := cfg.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	vel := net.zeroLike()
+	order := append([]int(nil), trainIdx...)
+	var sc *scratch
+	var bs *batchScratch
+	if batch > 1 || len(validIdx) > 0 {
+		rows := batch
+		if rows < 16 {
+			rows = 16 // validation forward passes batch at least 16 rows
+		}
+		bs = net.newBatchScratch(rows)
+	}
+	if batch == 1 {
+		sc = net.getScratch()
+	}
+
+	// Early stopping needs a snapshot of the best weights seen; without a
+	// validation set no snapshot is ever consulted, so skip the clone.
+	var best *Network
 	bestValid := math.Inf(1)
 	bad := 0
 	res := TrainResult{}
+	if len(validIdx) > 0 {
+		best = net.Clone()
+	}
 
 	for epoch := 0; epoch < cfg.MaxEpochs; epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var sum float64
-		for _, idx := range order {
-			s := &train[idx]
-			sum += net.backprop(s.X, s.Y, cfg.LearningRate, cfg.Momentum, vel, sc)
+		if batch > 1 {
+			sum = net.epochBatched(ds, order, batch, cfg.LearningRate, cfg.Momentum, vel, bs)
+		} else {
+			sum = net.epochPerSample(ds, order, cfg.LearningRate, cfg.Momentum, vel, sc)
 		}
 		res.Epochs = epoch + 1
-		res.TrainMSE = sum / float64(len(train))
+		res.TrainMSE = sum / float64(len(order))
 
-		if len(valid) == 0 {
+		if len(validIdx) == 0 {
 			continue
 		}
-		v := net.MSE(valid)
+		v := net.mseBatched(vds, validIdx, bs)
 		if v < bestValid-1e-12 {
 			bestValid = v
 			best.copyWeightsFrom(net)
@@ -123,8 +197,10 @@ func Train(train, valid []Sample, cfg Config) (*Network, TrainResult, error) {
 			}
 		}
 	}
-	net.putScratch(sc)
-	if len(valid) > 0 {
+	if sc != nil {
+		net.putScratch(sc)
+	}
+	if len(validIdx) > 0 {
 		net = best
 		res.ValidMSE = bestValid
 	} else {

@@ -182,15 +182,17 @@ func TrainANNBank(samples []dataset.PhaseSample, eventCounts []int, targets []st
 		if len(events) > ec {
 			events = events[:ec]
 		}
+		// Feature vectors are target-independent: extract them once and
+		// share across every target's training set.
+		byTarget, err := dataset.ToSamplesMulti(samples, events, targets)
+		if err != nil {
+			return nil, err
+		}
 		// Targets are independent training problems; fan them out. Each
 		// ensemble's folds fan out one level further inside TrainEnsemble.
 		ensembles, err := parallel.Map(len(targets), func(i int) (*ann.Ensemble, error) {
 			t := targets[i]
-			ss, err := dataset.ToSamples(samples, events, t)
-			if err != nil {
-				return nil, err
-			}
-			ens, err := ann.TrainEnsemble(ss, folds, cfg)
+			ens, err := ann.TrainEnsemble(byTarget[t], folds, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("train ANN (events=%d, target=%s): %w", ec, t, err)
 			}
@@ -220,13 +222,13 @@ func TrainMLRBank(samples []dataset.PhaseSample, eventCounts []int, targets []st
 		if len(events) > ec {
 			events = events[:ec]
 		}
+		byTarget, err := dataset.ToSamplesMulti(samples, events, targets)
+		if err != nil {
+			return nil, err
+		}
 		models := make(map[string]*mlr.Model, len(targets))
 		for _, t := range targets {
-			ss, err := dataset.ToSamples(samples, events, t)
-			if err != nil {
-				return nil, err
-			}
-			m, err := mlr.Fit(ss, ridge)
+			m, err := mlr.Fit(byTarget[t], ridge)
 			if err != nil {
 				return nil, fmt.Errorf("train MLR (events=%d, target=%s): %w", ec, t, err)
 			}

@@ -225,3 +225,31 @@ func ToSamples(phaseSamples []PhaseSample, events []pmu.Event, targetConfig stri
 	}
 	return out, nil
 }
+
+// ToSamplesMulti builds the supervised sets for several target
+// configurations at once. The feature vector of a phase sample does not
+// depend on the target, so it is computed once and shared (aliased, not
+// copied) by every target's sample list — predictor-bank training trains
+// one model per target on identical features and must not pay the feature
+// extraction once per target. Callers must treat the X vectors as
+// read-only, which the trainers do (normalisation copies into private
+// packed buffers).
+func ToSamplesMulti(phaseSamples []PhaseSample, events []pmu.Event, targets []string) (map[string][]ann.Sample, error) {
+	out := make(map[string][]ann.Sample, len(targets))
+	for _, t := range targets {
+		out[t] = make([]ann.Sample, 0, len(phaseSamples))
+	}
+	for i := range phaseSamples {
+		ps := &phaseSamples[i]
+		x := ps.Features(events)
+		for _, t := range targets {
+			y, ok := ps.MeasuredIPC[t]
+			if !ok {
+				return nil, fmt.Errorf("dataset: sample %s/%s has no label for config %q",
+					ps.Bench, ps.Phase, t)
+			}
+			out[t] = append(out[t], ann.Sample{X: x, Y: y})
+		}
+	}
+	return out, nil
+}

@@ -145,3 +145,54 @@ func TestCollectSuite(t *testing.T) {
 		}
 	}
 }
+
+func TestToSamplesMultiSharesFeatures(t *testing.T) {
+	ps := []PhaseSample{
+		{
+			Bench: "A", Phase: "p",
+			Rates:       pmu.Rates{pmu.Instructions: 1.5, pmu.L2Misses: 0.01},
+			MeasuredIPC: map[string]float64{"1": 1.1, "2b": 2.5},
+		},
+		{
+			Bench: "A", Phase: "q",
+			Rates:       pmu.Rates{pmu.Instructions: 0.8, pmu.L2Misses: 0.04},
+			MeasuredIPC: map[string]float64{"1": 0.7, "2b": 1.9},
+		},
+	}
+	events := []pmu.Event{pmu.L2Misses}
+	targets := []string{"1", "2b"}
+	multi, err := ToSamplesMulti(ps, events, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tgt := range targets {
+		single, err := ToSamples(ps, events, tgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi[tgt]) != len(single) {
+			t.Fatalf("target %s: %d samples, want %d", tgt, len(multi[tgt]), len(single))
+		}
+		for i := range single {
+			if multi[tgt][i].Y != single[i].Y {
+				t.Errorf("target %s sample %d: Y = %v, want %v", tgt, i, multi[tgt][i].Y, single[i].Y)
+			}
+			for j := range single[i].X {
+				if multi[tgt][i].X[j] != single[i].X[j] {
+					t.Errorf("target %s sample %d: X[%d] = %v, want %v",
+						tgt, i, j, multi[tgt][i].X[j], single[i].X[j])
+				}
+			}
+		}
+	}
+	// The whole point: one feature vector extraction per phase sample,
+	// aliased across targets.
+	for i := range ps {
+		if &multi["1"][i].X[0] != &multi["2b"][i].X[0] {
+			t.Errorf("sample %d: feature vectors not shared across targets", i)
+		}
+	}
+	if _, err := ToSamplesMulti(ps, events, []string{"1", "zz"}); err == nil {
+		t.Error("missing target config accepted")
+	}
+}

@@ -41,24 +41,33 @@ type Options struct {
 }
 
 // DefaultOptions mirrors the paper: 10-fold ensembles, moderate counter
-// noise, six sampling repetitions per phase.
+// noise, six sampling repetitions per phase. Training runs on the batched
+// warm-start engine (mini-batch GEMM passes; one base model per ensemble
+// with bounded per-fold fine-tuning) — the knobs that made leave-one-out
+// training the pipeline's fast path; see ann.Config and PERFORMANCE.md.
 func DefaultOptions() Options {
+	cfg := ann.DefaultConfig()
+	cfg.BatchSize = 8
+	cfg.WarmStartEpochs = 60
 	return Options{
 		Seed:        42,
 		TimeSigma:   0.03,
 		CountSigma:  0.12,
 		Repetitions: 6,
 		Folds:       10,
-		ANN:         ann.DefaultConfig(),
+		ANN:         cfg,
 	}
 }
 
 // FastOptions trades a little fidelity for speed; used by the test suite so
-// the full pipeline stays runnable in seconds.
+// the full pipeline stays runnable in seconds. Like DefaultOptions it
+// enables batched warm-start training.
 func FastOptions() Options {
 	cfg := ann.DefaultConfig()
 	cfg.MaxEpochs = 150
-	cfg.Patience = 15
+	cfg.Patience = 12
+	cfg.BatchSize = 8
+	cfg.WarmStartEpochs = 30
 	return Options{
 		Seed:        42,
 		TimeSigma:   0.03,

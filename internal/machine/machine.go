@@ -90,6 +90,12 @@ type Machine struct {
 	// memo, when non-nil, caches the deterministic part of RunPhase.
 	// Shared across WithNoise/WithFrequency copies; see WithMemo.
 	memo *phaseMemo
+
+	// paramsEpoch is the machine's position in the shared memo's params
+	// history — part of the memo key, advanced by SetParams — so memoised
+	// responses computed under superseded Params are never served
+	// (auto-calibration tunes Params at runtime).
+	paramsEpoch uint64
 }
 
 // New builds a machine for the topology with default parameters and no
@@ -128,6 +134,24 @@ func (m *Machine) WithFrequency(scale float64) *Machine {
 
 // FrequencyScale returns the machine's clock scale (1 = nominal).
 func (m *Machine) FrequencyScale() float64 { return m.freqScale }
+
+// SetParams replaces the machine's core parameters and moves the machine
+// to a fresh params epoch in the phase-memo key, invalidating every
+// memoised response computed under the old parameters. Epochs are drawn
+// from a counter on the shared memo, so two derived machines (WithNoise,
+// WithFrequency copies share one memo) that diverge their Params can never
+// collide on an epoch and serve each other's entries. Callers tuning
+// Params on a memoised machine (auto-calibration) must go through
+// SetParams — writing the Params field directly would serve stale cached
+// phases.
+func (m *Machine) SetParams(p Params) {
+	m.Params = p
+	if m.memo != nil {
+		m.paramsEpoch = m.memo.nextEpoch()
+	} else {
+		m.paramsEpoch++
+	}
+}
 
 // WithNoise returns a copy of the machine whose RunPhase results carry
 // deterministic, seeded measurement noise: execution time with relative

@@ -23,7 +23,16 @@ import (
 type phaseMemo struct {
 	m            sync.Map // memoKey → *Result (canonical, never mutated)
 	hits, misses atomic.Uint64
+
+	// epochCounter allocates params epochs (see Machine.SetParams). It
+	// lives on the shared memo so every machine sharing the cache draws
+	// from one sequence: each SetParams call gets a unique epoch and two
+	// derived machines with different Params cannot key the same entries.
+	epochCounter atomic.Uint64
 }
+
+// nextEpoch returns a fresh, never-before-issued params epoch.
+func (c *phaseMemo) nextEpoch() uint64 { return c.epochCounter.Add(1) }
 
 type memoKey struct {
 	fingerprint string
@@ -31,6 +40,7 @@ type memoKey struct {
 	coresHash   uint64
 	freqScale   float64
 	idio        float64
+	paramsEpoch uint64
 }
 
 // lookup returns the memoised deterministic result for the task, computing
@@ -43,6 +53,7 @@ func (c *phaseMemo) lookup(m *Machine, p *workload.PhaseProfile, idio float64, p
 		coresHash:   hashCores(pl.Cores),
 		freqScale:   m.clockScale(),
 		idio:        idio,
+		paramsEpoch: m.paramsEpoch,
 	}
 	if v, ok := c.m.Load(key); ok {
 		c.hits.Add(1)
@@ -82,14 +93,21 @@ func hashCores(cores []topology.CoreID) uint64 {
 // WithMemo returns a copy of the machine that serves the deterministic part
 // of RunPhase from a shared phase-response cache. Derived machines
 // (WithNoise, WithFrequency) share the memo — frequency-scaled results are
-// distinguished by the cache key. Enable memoisation only after Params is
-// final: mutating Params afterwards would serve stale responses.
+// distinguished by the cache key. Params changes are safe when made through
+// SetParams, which bumps the params epoch in the cache key; writing the
+// Params field directly on a memoised machine serves stale responses.
 //
 // Phases without a Fingerprint bypass the cache entirely.
 func (m *Machine) WithMemo() *Machine {
 	cp := *m
 	if cp.memo == nil {
 		cp.memo = &phaseMemo{}
+		// Start the epoch sequence at the machine's current epoch:
+		// SetParams calls made before memoisation advanced paramsEpoch
+		// without a memo counter, and the first post-memoisation
+		// SetParams must not re-issue the epoch the cache is already
+		// keyed under.
+		cp.memo.epochCounter.Store(cp.paramsEpoch)
 	}
 	return &cp
 }

@@ -103,3 +103,83 @@ func TestMemoPerThreadIPCIsPrivate(t *testing.T) {
 		t.Error("cache handed out a shared PerThreadIPC slice")
 	}
 }
+
+func TestMemoSetParamsInvalidates(t *testing.T) {
+	m := newMachine(t).WithMemo()
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("4")
+
+	before := m.RunPhase(&p, 0.1, cfg) // miss: fills the cache
+
+	slow := m.Params
+	slow.MemLatencyCycles *= 4
+	m.SetParams(slow)
+	after := m.RunPhase(&p, 0.1, cfg)
+	if memoEquivalent(after.TimeSec, before.TimeSec) {
+		t.Error("params change served a stale memoised response")
+	}
+	if after.TimeSec <= before.TimeSec {
+		t.Errorf("4× memory latency did not slow the phase: %g vs %g", after.TimeSec, before.TimeSec)
+	}
+	if _, misses := m.MemoStats(); misses != 2 {
+		t.Errorf("misses = %d, want 2 (one per params epoch)", misses)
+	}
+
+	// Restoring the old values under a new epoch must still recompute —
+	// the key carries the epoch, not the parameter values — and the result
+	// must equal the original computation.
+	orig := slow
+	orig.MemLatencyCycles /= 4
+	m.SetParams(orig)
+	restored := m.RunPhase(&p, 0.1, cfg)
+	if !memoEquivalent(restored.TimeSec, before.TimeSec) {
+		t.Error("recomputation under restored params diverged from the original")
+	}
+	if _, misses := m.MemoStats(); misses != 3 {
+		t.Errorf("misses = %d, want 3", misses)
+	}
+}
+
+func TestMemoSetParamsOnDerivedMachinesCannotCollide(t *testing.T) {
+	a := newMachine(t).WithMemo()
+	b := a.WithFrequency(1) // shares a's memo
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("4")
+
+	fast := a.Params
+	fast.MemLatencyCycles /= 2
+	slow := a.Params
+	slow.MemLatencyCycles *= 2
+	a.SetParams(fast)
+	b.SetParams(slow) // epochs come from the shared memo: must differ from a's
+
+	ra := a.RunPhase(&p, 0.1, cfg)
+	rb := b.RunPhase(&p, 0.1, cfg)
+	if memoEquivalent(ra.TimeSec, rb.TimeSec) {
+		t.Error("derived machines with diverged Params shared a memo entry (epoch collision)")
+	}
+	if rb.TimeSec <= ra.TimeSec {
+		t.Errorf("2× vs 0.5× memory latency ordering wrong: %g vs %g", rb.TimeSec, ra.TimeSec)
+	}
+}
+
+func TestMemoSetParamsBeforeWithMemoStaysInvalidatable(t *testing.T) {
+	m := newMachine(t)
+	p := testPhase()
+	cfg, _ := topology.ConfigByName("4")
+
+	pre := m.Params
+	pre.MemLatencyCycles /= 2
+	m.SetParams(pre) // advances the epoch before any memo exists
+
+	mm := m.WithMemo()
+	before := mm.RunPhase(&p, 0.1, cfg) // caches under the pre-memo epoch
+
+	slow := mm.Params
+	slow.MemLatencyCycles *= 8
+	mm.SetParams(slow) // the fresh memo's counter must not re-issue that epoch
+	after := mm.RunPhase(&p, 0.1, cfg)
+	if memoEquivalent(after.TimeSec, before.TimeSec) {
+		t.Error("SetParams after late memoisation served a stale response (epoch re-issued)")
+	}
+}

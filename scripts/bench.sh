@@ -1,12 +1,29 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite with -benchmem and write a JSON
-# snapshot (default BENCH_1.json) so future PRs have a perf trajectory.
+# snapshot so future PRs have a perf trajectory. Without an explicit
+# outfile the snapshot is numbered after the highest existing BENCH_<n>.json
+# (never overwriting a committed baseline); `go run scripts/bench_trend.go`
+# (or `make trend`) reports deltas across all snapshots.
 #
 # Usage: scripts/bench.sh [outfile.json] [bench regexp] [benchtime]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_1.json}"
+if [ $# -ge 1 ]; then
+    OUT="$1"
+else
+    # Number after the highest existing snapshot (gaps in the sequence
+    # must not cause an older number to be reused).
+    max=0
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        n="${f#BENCH_}"
+        n="${n%.json}"
+        case "$n" in *[!0-9]*) continue ;; esac
+        [ "$n" -gt "$max" ] && max="$n"
+    done
+    OUT="BENCH_$((max + 1)).json"
+fi
 PATTERN="${2:-.}"
 BENCHTIME="${3:-1s}"
 

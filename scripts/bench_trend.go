@@ -1,0 +1,129 @@
+// Command bench_trend prints the performance trajectory across the
+// committed benchmark snapshots: for every benchmark present in any
+// BENCH_<n>.json (written by scripts/bench.sh), it tabulates ns/op and
+// allocs/op per snapshot plus the relative change from the first to the
+// latest snapshot that has the benchmark.
+//
+// Usage: go run scripts/bench_trend.go   (or `make trend`)
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// snapshot is one BENCH_<n>.json: benchmark name → metric name → value.
+type snapshot struct {
+	num    int
+	values map[string]map[string]float64
+}
+
+// gomaxprocsSuffix strips the -<N> GOMAXPROCS suffix Go appends to
+// benchmark names, so snapshots taken at different core counts still line
+// up by benchmark.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64, len(raw))
+	for name, msg := range raw {
+		if name == "_meta" {
+			continue
+		}
+		var metrics map[string]float64
+		if err := json.Unmarshal(msg, &metrics); err != nil {
+			return nil, fmt.Errorf("%s: benchmark %q: %w", path, name, err)
+		}
+		out[gomaxprocsSuffix.ReplaceAllString(name, "")] = metrics
+	}
+	return out, nil
+}
+
+var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+func main() {
+	// Glob rather than count up from 1: a pruned snapshot must not hide
+	// everything after the gap.
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var snaps []snapshot
+	for _, path := range paths {
+		m := snapshotName.FindStringSubmatch(path)
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		values, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		snaps = append(snaps, snapshot{num: n, values: values})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].num < snaps[j].num })
+	if len(snaps) == 0 {
+		fmt.Fprintln(os.Stderr, "no BENCH_<n>.json snapshots found (run scripts/bench.sh)")
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for _, s := range snaps {
+		for name := range s.values {
+			names[name] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	for _, metric := range []string{"ns_per_op", "allocs_per_op"} {
+		fmt.Printf("%s across snapshots:\n", metric)
+		header := fmt.Sprintf("%-44s", "benchmark")
+		for _, s := range snaps {
+			header += fmt.Sprintf(" %14s", "BENCH_"+strconv.Itoa(s.num))
+		}
+		fmt.Println(header + "        Δ first→last")
+		for _, name := range sorted {
+			row := fmt.Sprintf("%-44s", name)
+			var first, last float64
+			haveFirst := false
+			for _, s := range snaps {
+				v, ok := s.values[name][metric]
+				if !ok {
+					row += fmt.Sprintf(" %14s", "-")
+					continue
+				}
+				row += fmt.Sprintf(" %14.0f", v)
+				if !haveFirst {
+					first, haveFirst = v, true
+				}
+				last = v
+			}
+			if haveFirst && first > 0 {
+				row += fmt.Sprintf("  %+9.1f%%", (last-first)/first*100)
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+}
