@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke trend fmt vet ci clean
+.PHONY: build test race bench bench-json bench-smoke trend trend-gate fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench-smoke:
 ## trend: print ns/op and allocs/op deltas across all BENCH_<n>.json.
 trend:
 	$(GO) run scripts/bench_trend.go
+
+## trend-gate: fail when the latest committed snapshot regressed ns/op by
+## more than 30% vs the previous one (CI; see bench_trend.go -allow for
+## the intentional-slowdown escape hatch).
+trend-gate:
+	$(GO) run scripts/bench_trend.go -gate
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

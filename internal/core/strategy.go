@@ -208,7 +208,7 @@ func migrationActivity(env *Env, pl topology.Placement, extraSec, extraBytes flo
 		ActiveCores:      pl.Threads(),
 		TotalCores:       env.Machine.Topo.NumCores,
 		AvgCoreIPC:       0.2,
-		PeakIPC:          env.Machine.Params.PeakIssueIPC,
+		PeakIPC:          env.Machine.Params().PeakIssueIPC,
 		AvgCoreUtil:      0.25,
 		BusUtilization:   busUtil,
 		BusBytes:         extraBytes,
@@ -313,19 +313,26 @@ func (OraclePhase) Run(b *workload.Benchmark, env *Env) (RunResult, error) {
 
 // GlobalOptimal returns the configuration minimising the benchmark's total
 // noiseless execution time, with the per-config total times for reporting.
+// Each phase is evaluated across the whole configuration space in one
+// RunPhaseSweep call; per-config totals accumulate in phase order, so the
+// result is bit-identical to the per-config sequential loop it replaces.
 func GlobalOptimal(b *workload.Benchmark, truth *machine.Machine, configs []topology.Placement) (topology.Placement, map[string]float64, error) {
 	if len(configs) == 0 {
 		return topology.Placement{}, nil, errors.New("core: empty config space")
 	}
+	totals := make([]float64, len(configs))
+	dst := make([]machine.Result, len(configs))
+	for pi := range b.Phases {
+		truth.RunPhaseSweep(&b.Phases[pi], b.Idiosyncrasy, configs, dst)
+		for ci := range configs {
+			totals[ci] += dst[ci].TimeSec
+		}
+	}
 	times := make(map[string]float64, len(configs))
 	best := configs[0]
 	bestT := math.Inf(1)
-	for _, cfg := range configs {
-		var t float64
-		for pi := range b.Phases {
-			t += truth.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg).TimeSec
-		}
-		t *= float64(b.Iterations)
+	for ci, cfg := range configs {
+		t := totals[ci] * float64(b.Iterations)
 		times[cfg.Name] = t
 		if t < bestT {
 			bestT, best = t, cfg
@@ -340,12 +347,13 @@ func PhaseOptimal(b *workload.Benchmark, truth *machine.Machine, configs []topol
 		return nil, errors.New("core: empty config space")
 	}
 	out := make([]topology.Placement, len(b.Phases))
+	dst := make([]machine.Result, len(configs))
 	for pi := range b.Phases {
+		truth.RunPhaseSweep(&b.Phases[pi], b.Idiosyncrasy, configs, dst)
 		best := configs[0]
 		bestT := math.Inf(1)
-		for _, cfg := range configs {
-			t := truth.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg).TimeSec
-			if t < bestT {
+		for ci, cfg := range configs {
+			if t := dst[ci].TimeSec; t < bestT {
 				bestT, best = t, cfg
 			}
 		}
@@ -358,13 +366,15 @@ func PhaseOptimal(b *workload.Benchmark, truth *machine.Machine, configs []topol
 // one phase on the noiseless machine — used to score how often the
 // predictor selects the true best configuration (Fig. 7).
 func RankConfigsByTime(p *workload.PhaseProfile, idio float64, truth *machine.Machine, configs []topology.Placement) []string {
+	dst := make([]machine.Result, len(configs))
+	truth.RunPhaseSweep(p, idio, configs, dst)
 	type ct struct {
 		name string
 		t    float64
 	}
 	list := make([]ct, 0, len(configs))
-	for _, cfg := range configs {
-		list = append(list, ct{cfg.Name, truth.RunPhase(p, idio, cfg).TimeSec})
+	for ci, cfg := range configs {
+		list = append(list, ct{cfg.Name, dst[ci].TimeSec})
 	}
 	sort.Slice(list, func(i, j int) bool { return list[i].t < list[j].t })
 	out := make([]string, len(list))

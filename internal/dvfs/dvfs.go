@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/greenhpc/actor/internal/machine"
 	"github.com/greenhpc/actor/internal/power"
@@ -79,14 +80,22 @@ func ConstrainedEnergy(bestTime, slack float64) Objective {
 	}
 }
 
-// Evaluator runs phases at joint operating points.
+// Evaluator runs phases at joint operating points. With a noiseless Base
+// (every in-repo caller: oracles evaluate ground truth) it is safe for
+// concurrent use — the exp drivers fan benchmarks out across one shared
+// evaluator, whose frequency-scaled machines all share the base machine's
+// phase-response memo. A noisy Base would not be: its frequency-scaled
+// copies would share one noise source, racing under concurrent use and
+// consuming draws in level-grouped rather than space order.
 type Evaluator struct {
 	// Base is the nominal-frequency machine (oracle: noiseless).
 	Base *machine.Machine
 	// Power is the power model.
 	Power *power.Model
 
-	// cache of frequency-scaled machines.
+	// cache of frequency-scaled machines, guarded by mu (the exp drivers
+	// run Study for several benchmarks concurrently).
+	mu     sync.Mutex
 	scaled map[float64]*machine.Machine
 }
 
@@ -99,6 +108,8 @@ func NewEvaluator(base *machine.Machine, pm *power.Model) (*Evaluator, error) {
 }
 
 func (ev *Evaluator) machineAt(scale float64) *machine.Machine {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
 	if m, ok := ev.scaled[scale]; ok {
 		return m
 	}
@@ -116,17 +127,57 @@ func (ev *Evaluator) RunPhase(p *workload.PhaseProfile, idio float64, cfg Config
 
 // BestPerPhase returns, for every phase of the benchmark, the joint
 // configuration minimising the objective.
+//
+// The space is regrouped by frequency level so each phase is evaluated with
+// one machine.RunPhaseSweep per level across that level's placements; the
+// candidates are then scored in the space's original order, so ties resolve
+// exactly as the per-configuration loop this replaces resolved them.
 func (ev *Evaluator) BestPerPhase(b *workload.Benchmark, space []Config, obj Objective) ([]Config, error) {
 	if len(space) == 0 {
 		return nil, errors.New("dvfs: empty configuration space")
 	}
+	// Group the space indices by frequency level (first-seen order).
+	type levelGroup struct {
+		scale      float64
+		spaceIdx   []int
+		placements []topology.Placement
+	}
+	var groups []levelGroup
+	byScale := make(map[float64]int)
+	for si, cfg := range space {
+		gi, ok := byScale[cfg.FreqScale]
+		if !ok {
+			gi = len(groups)
+			byScale[cfg.FreqScale] = gi
+			groups = append(groups, levelGroup{scale: cfg.FreqScale})
+		}
+		groups[gi].spaceIdx = append(groups[gi].spaceIdx, si)
+		groups[gi].placements = append(groups[gi].placements, cfg.Placement)
+	}
+	maxGroup := 0
+	for _, g := range groups {
+		if len(g.placements) > maxGroup {
+			maxGroup = len(g.placements)
+		}
+	}
+
+	type te struct{ t, e float64 }
+	scores := make([]te, len(space))
+	dst := make([]machine.Result, maxGroup)
 	out := make([]Config, len(b.Phases))
 	for pi := range b.Phases {
+		p := &b.Phases[pi]
+		for _, g := range groups {
+			d := dst[:len(g.placements)]
+			ev.machineAt(g.scale).RunPhaseSweep(p, b.Idiosyncrasy, g.placements, d)
+			for k, si := range g.spaceIdx {
+				scores[si] = te{d[k].TimeSec, ev.Power.Energy(d[k].Activity)}
+			}
+		}
 		best := space[0]
 		bestScore := math.Inf(1)
-		for _, cfg := range space {
-			t, e := ev.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg)
-			if s := obj(t, e); s < bestScore {
+		for si, cfg := range space {
+			if s := obj(scores[si].t, scores[si].e); s < bestScore {
 				bestScore, best = s, cfg
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"github.com/greenhpc/actor/internal/core"
 	"github.com/greenhpc/actor/internal/dvfs"
 	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/parallel"
 	"github.com/greenhpc/actor/internal/report"
 	"github.com/greenhpc/actor/internal/topology"
 	"github.com/greenhpc/actor/internal/workload"
@@ -30,14 +31,18 @@ type DVFSResult struct {
 }
 
 // DVFSStudy runs the four-strategy DVFS comparison over the suite under
-// the ED² objective with oracle decisions.
+// the ED² objective with oracle decisions. Benchmarks are independent and
+// fan out through the parallel engine; every strategy's per-phase searches
+// run on the batched sweep path inside dvfs.Evaluator, and all tasks share
+// the suite machine's phase-response memo (the joint space is a superset of
+// both single-knob spaces, so the overlap is served from cache).
 func (s *Suite) DVFSStudy() (*DVFSResult, error) {
 	ev, err := dvfs.NewEvaluator(s.Truth, s.Power)
 	if err != nil {
 		return nil, err
 	}
-	res := &DVFSResult{ED2: make(map[string]map[string]float64, len(s.Benches))}
-	for _, b := range s.Benches {
+	rows, err := parallel.Map(len(s.Benches), func(i int) (map[string]float64, error) {
+		b := s.Benches[i]
 		study, err := ev.Study(b, s.Configs, dvfs.DefaultLevels(), dvfs.MinED2)
 		if err != nil {
 			return nil, fmt.Errorf("dvfs study %s: %w", b.Name, err)
@@ -47,7 +52,14 @@ func (s *Suite) DVFSStudy() (*DVFSResult, error) {
 		for _, st := range []dvfs.Strategy{dvfs.AllCoresNominal, dvfs.ConcurrencyOnly, dvfs.DVFSOnly, dvfs.Joint} {
 			row[st.String()] = study[st].ED2 / base
 		}
-		res.ED2[b.Name] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &DVFSResult{ED2: make(map[string]map[string]float64, len(s.Benches))}
+	for bi, b := range s.Benches {
+		res.ED2[b.Name] = rows[bi]
 		res.Order = append(res.Order, b.Name)
 	}
 	return res, nil
@@ -90,37 +102,62 @@ type FutureScalingResult struct {
 // FutureScaling evaluates the suite on synthetic 4-, 8-, 16- and 32-core
 // machines: the paper's prediction that "future generation systems with
 // many cores will be further prone to scalability limitations".
+//
+// The (core count × benchmark) cells are independent and fan out through
+// the parallel engine with index-addressed results; each cell sweeps every
+// phase across the scale's full placement set in one RunPhaseSweep call, so
+// the per-phase invariants (miss-rate tables, scratch, the all-cores
+// evaluation the gain is normalised against) are solved once per phase
+// instead of once per placement. The machine model is pure, so the table is
+// bit-identical to the sequential loop at any GOMAXPROCS.
 func (s *Suite) FutureScaling() (*FutureScalingResult, error) {
 	res := &FutureScalingResult{
 		Cores:      []int{4, 8, 16, 32},
 		Gain:       map[int]map[string]float64{},
 		Placements: map[int]int{},
 	}
-	for _, cores := range res.Cores {
+	type scale struct {
+		m          *machine.Machine
+		placements []topology.Placement
+	}
+	scales := make([]scale, len(res.Cores))
+	for si, cores := range res.Cores {
 		topo := topology.Manycore(cores, 2)
 		m, err := machine.New(topo)
 		if err != nil {
 			return nil, err
 		}
-		placements := topology.EnumeratePlacements(topo)
-		res.Placements[cores] = len(placements)
-		all := placements[len(placements)-1]
-		row := map[string]float64{}
-		for _, b := range s.Benches {
-			var tAll, tBest float64
-			for pi := range b.Phases {
-				p := &b.Phases[pi]
-				ta := m.RunPhase(p, b.Idiosyncrasy, all).TimeSec
-				tb := ta
-				for _, pl := range placements {
-					if tt := m.RunPhase(p, b.Idiosyncrasy, pl).TimeSec; tt < tb {
-						tb = tt
-					}
+		scales[si] = scale{m: m, placements: topology.EnumeratePlacements(topo)}
+		res.Placements[cores] = len(scales[si].placements)
+	}
+	nb := len(s.Benches)
+	gains, err := parallel.Map(len(res.Cores)*nb, func(i int) (float64, error) {
+		sc, b := scales[i/nb], s.Benches[i%nb]
+		// EnumeratePlacements orders by thread count: the last placement
+		// is the all-cores configuration the paper normalises against.
+		dst := make([]machine.Result, len(sc.placements))
+		var tAll, tBest float64
+		for pi := range b.Phases {
+			sc.m.RunPhaseSweep(&b.Phases[pi], b.Idiosyncrasy, sc.placements, dst)
+			ta := dst[len(dst)-1].TimeSec
+			tb := ta
+			for ri := range dst {
+				if tt := dst[ri].TimeSec; tt < tb {
+					tb = tt
 				}
-				tAll += ta
-				tBest += tb
 			}
-			row[b.Name] = 1 - tBest/tAll
+			tAll += ta
+			tBest += tb
+		}
+		return 1 - tBest/tAll, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, cores := range res.Cores {
+		row := map[string]float64{}
+		for bi, b := range s.Benches {
+			row[b.Name] = gains[si*nb+bi]
 		}
 		res.Gain[cores] = row
 	}
@@ -191,22 +228,23 @@ func backgroundTask() workload.PhaseProfile {
 
 // CoScheduling compares makespans with and without throttling-enabled
 // co-scheduling, using oracle global placements for the foreground
-// benchmark.
+// benchmark. Benchmarks fan out through the parallel engine into
+// index-addressed slots; the oracle searches inside run on the batched
+// sweep path (core.GlobalOptimal), and the daemon executions share the
+// suite's phase memo across tasks.
 func (s *Suite) CoScheduling() (*CoSchedulingResult, error) {
-	res := &CoSchedulingResult{
-		Default:   map[string]float64{},
-		Throttled: map[string]float64{},
-	}
 	daemon := backgroundTask()
 	allCores := s.Configs[len(s.Configs)-1]
-	for _, b := range s.Benches {
+	type cell struct{ def, throttled float64 }
+	cells, err := parallel.Map(len(s.Benches), func(i int) (cell, error) {
+		b := s.Benches[i]
 		best, times, err := core.GlobalOptimal(b, s.Truth, s.Configs)
 		if err != nil {
-			return nil, err
+			return cell{}, err
 		}
 		// Default: benchmark on all cores, then the daemon on all cores.
 		daemonAll := s.Truth.RunPhase(&daemon, 0, allCores).TimeSec
-		res.Default[b.Name] = times[allCores.Name] + daemonAll
+		def := times[allCores.Name] + daemonAll
 
 		// Throttled: benchmark on its best placement; daemon on the
 		// complementary cores (if any). With no free cores the daemon
@@ -214,8 +252,7 @@ func (s *Suite) CoScheduling() (*CoSchedulingResult, error) {
 		free := complement(s.Truth.Topo, best)
 		tb := times[best.Name]
 		if free.Threads() == 0 {
-			res.Throttled[b.Name] = tb + daemonAll
-			continue
+			return cell{def, tb + daemonAll}, nil
 		}
 		daemonFree := s.Truth.RunPhase(&daemon, 0, free).TimeSec
 		makespan := tb
@@ -225,9 +262,18 @@ func (s *Suite) CoScheduling() (*CoSchedulingResult, error) {
 		// Any daemon remainder after the benchmark finishes spreads to
 		// all cores; approximate by the max above plus a small tail when
 		// the daemon dominated (already covered by max).
-		res.Throttled[b.Name] = makespan
+		return cell{def, makespan}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, b := range s.Benches {
+	res := &CoSchedulingResult{
+		Default:   map[string]float64{},
+		Throttled: map[string]float64{},
+	}
+	for bi, b := range s.Benches {
+		res.Default[b.Name] = cells[bi].def
+		res.Throttled[b.Name] = cells[bi].throttled
 		res.Order = append(res.Order, b.Name)
 	}
 	return res, nil

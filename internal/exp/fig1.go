@@ -20,25 +20,22 @@ type Fig1Result struct {
 
 // Fig1ExecutionTimes reproduces Fig. 1: whole-application execution time on
 // each of the five threading configurations, using the noiseless machine.
-// The (benchmark × configuration) cells are independent and fan out through
-// the parallel engine; the noiseless machine is pure, so the table is
-// identical at any GOMAXPROCS.
+// Benchmarks fan out through the parallel engine; within each benchmark one
+// RunPhaseSweep per phase covers the whole configuration row. The noiseless
+// machine is pure, so the table is identical at any GOMAXPROCS.
 func (s *Suite) Fig1ExecutionTimes() (*Fig1Result, error) {
 	res := &Fig1Result{
 		Configs: s.ConfigNames(),
 		TimeSec: make(map[string]map[string]float64, len(s.Benches)),
 	}
-	nc := len(s.Configs)
-	cells := make([]float64, len(s.Benches)*nc)
-	parallel.ForEach(len(cells), func(i int) {
-		b, cfg := s.Benches[i/nc], s.Configs[i%nc]
-		t, _, _ := s.runWhole(b, s.Truth, cfg)
-		cells[i] = t
+	rows := make([][]wholeRun, len(s.Benches))
+	parallel.ForEach(len(s.Benches), func(i int) {
+		rows[i] = s.runWholeAcrossConfigs(s.Benches[i], s.Truth, s.Configs)
 	})
 	for bi, b := range s.Benches {
-		row := make(map[string]float64, nc)
+		row := make(map[string]float64, len(s.Configs))
 		for ci, cfg := range s.Configs {
-			row[cfg.Name] = cells[bi*nc+ci]
+			row[cfg.Name] = rows[bi][ci].timeSec
 		}
 		res.TimeSec[b.Name] = row
 		res.Order = append(res.Order, b.Name)

@@ -20,28 +20,25 @@ type Fig3Result struct {
 }
 
 // Fig3PowerEnergy reproduces Fig. 3: whole-run average power and energy per
-// configuration, using the modelled Watts Up Pro meter. Cells fan out
-// across (benchmark × configuration) like Fig. 1.
+// configuration, using the modelled Watts Up Pro meter. Benchmarks fan out
+// like Fig. 1, with one RunPhaseSweep per phase covering the whole
+// configuration row.
 func (s *Suite) Fig3PowerEnergy() (*Fig3Result, error) {
 	res := &Fig3Result{
 		Configs: s.ConfigNames(),
 		PowerW:  make(map[string]map[string]float64, len(s.Benches)),
 		EnergyJ: make(map[string]map[string]float64, len(s.Benches)),
 	}
-	nc := len(s.Configs)
-	type cell struct{ power, energy float64 }
-	cells := make([]cell, len(s.Benches)*nc)
-	parallel.ForEach(len(cells), func(i int) {
-		b, cfg := s.Benches[i/nc], s.Configs[i%nc]
-		_, p, e := s.runWhole(b, s.Truth, cfg)
-		cells[i] = cell{p, e}
+	rows := make([][]wholeRun, len(s.Benches))
+	parallel.ForEach(len(s.Benches), func(i int) {
+		rows[i] = s.runWholeAcrossConfigs(s.Benches[i], s.Truth, s.Configs)
 	})
 	for bi, b := range s.Benches {
-		pw := make(map[string]float64, nc)
-		en := make(map[string]float64, nc)
+		pw := make(map[string]float64, len(s.Configs))
+		en := make(map[string]float64, len(s.Configs))
 		for ci, cfg := range s.Configs {
-			pw[cfg.Name] = cells[bi*nc+ci].power
-			en[cfg.Name] = cells[bi*nc+ci].energy
+			pw[cfg.Name] = rows[bi][ci].avgPower
+			en[cfg.Name] = rows[bi][ci].energyJ
 		}
 		res.PowerW[b.Name] = pw
 		res.EnergyJ[b.Name] = en

@@ -142,13 +142,29 @@ func (s *Suite) ConfigNames() []string {
 	return out
 }
 
-// runWhole executes every phase of b once per iteration on machine m and
-// returns total time, average power and energy.
-func (s *Suite) runWhole(b *workload.Benchmark, m *machine.Machine, cfg topology.Placement) (timeSec, avgPower, energyJ float64) {
-	var acc power.Accumulator
+// wholeRun is one benchmark's whole-run totals under one configuration.
+type wholeRun struct {
+	timeSec, avgPower, energyJ float64
+}
+
+// runWholeAcrossConfigs executes every phase of b once per iteration on
+// machine m under each configuration, returning one wholeRun per config.
+// Each phase is evaluated across all configurations in one RunPhaseSweep
+// call; per-config accumulators consume phase results in phase order, so
+// every total is bit-identical to the per-config sequential loop this
+// replaces.
+func (s *Suite) runWholeAcrossConfigs(b *workload.Benchmark, m *machine.Machine, cfgs []topology.Placement) []wholeRun {
+	accs := make([]power.Accumulator, len(cfgs))
+	dst := make([]machine.Result, len(cfgs))
 	for pi := range b.Phases {
-		res := m.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg)
-		acc.Add(res.TimeSec*float64(b.Iterations), s.Power.Power(res.Activity))
+		m.RunPhaseSweep(&b.Phases[pi], b.Idiosyncrasy, cfgs, dst)
+		for ci := range cfgs {
+			accs[ci].Add(dst[ci].TimeSec*float64(b.Iterations), s.Power.Power(dst[ci].Activity))
+		}
 	}
-	return acc.TimeSec, acc.AvgPower(), acc.EnergyJ
+	out := make([]wholeRun, len(cfgs))
+	for ci := range cfgs {
+		out[ci] = wholeRun{accs[ci].TimeSec, accs[ci].AvgPower(), accs[ci].EnergyJ}
+	}
+	return out
 }

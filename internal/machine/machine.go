@@ -68,11 +68,22 @@ func DefaultParams() Params {
 
 // Machine couples a topology with cache/bus models and core parameters.
 type Machine struct {
-	Topo   *topology.Topology
-	Params Params
+	Topo *topology.Topology
+
+	// params is unexported so every parameter change funnels through
+	// SetParams: a direct write on a memoised machine used to be a
+	// documented footgun (it served phase responses computed under the
+	// superseded parameters). Read with Params().
+	params Params
 
 	l2  *cache.SharingModel
 	fsb *bus.Model
+
+	// coreGroup maps CoreID → index of its L2 group (-1 for cores outside
+	// every group), precomputed at construction so the per-thread group
+	// loads of a placement resolve in O(threads) instead of the O(cores²)
+	// scans topology.GroupOf would cost on the hot path.
+	coreGroup []int
 
 	// noiseSrc, when non-nil, perturbs RunPhase results with run-to-run
 	// variance (time ±~1%, event counts per TimeSigma/CountSigma).
@@ -108,11 +119,16 @@ func New(t *topology.Topology) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	cg := make([]int, t.NumCores)
+	for c := range cg {
+		cg[c] = t.GroupOf(topology.CoreID(c))
+	}
 	return &Machine{
 		Topo:      t,
-		Params:    DefaultParams(),
+		params:    DefaultParams(),
 		l2:        cache.NewSharingModel(float64(t.L2BytesPerGroup)),
 		fsb:       fsb,
+		coreGroup: cg,
 		freqScale: 1,
 	}, nil
 }
@@ -135,17 +151,19 @@ func (m *Machine) WithFrequency(scale float64) *Machine {
 // FrequencyScale returns the machine's clock scale (1 = nominal).
 func (m *Machine) FrequencyScale() float64 { return m.freqScale }
 
+// Params returns the machine's core parameters. Mutate via SetParams — the
+// field is unexported so memoised machines can never serve phase responses
+// computed under superseded parameters.
+func (m *Machine) Params() Params { return m.params }
+
 // SetParams replaces the machine's core parameters and moves the machine
 // to a fresh params epoch in the phase-memo key, invalidating every
 // memoised response computed under the old parameters. Epochs are drawn
 // from a counter on the shared memo, so two derived machines (WithNoise,
 // WithFrequency copies share one memo) that diverge their Params can never
-// collide on an epoch and serve each other's entries. Callers tuning
-// Params on a memoised machine (auto-calibration) must go through
-// SetParams — writing the Params field directly would serve stale cached
-// phases.
+// collide on an epoch and serve each other's entries.
 func (m *Machine) SetParams(p Params) {
-	m.Params = p
+	m.params = p
 	if m.memo != nil {
 		m.paramsEpoch = m.memo.nextEpoch()
 	} else {
@@ -184,7 +202,10 @@ type Result struct {
 	// per-phase "observed IPC" (Fig. 2), which exceeds one core's peak
 	// when threads run concurrently.
 	AggIPC float64
-	// PerThreadIPC is each thread's own IPC during the parallel part.
+	// PerThreadIPC is each thread's own IPC during the parallel part. On a
+	// memoised machine this slice is the cache's canonical copy, shared by
+	// every Result served for the same (phase, placement) — treat it as
+	// read-only (the zero-allocation hit path depends on it).
 	PerThreadIPC []float64
 	// Counts are the aggregate hardware event counts for the execution.
 	Counts pmu.Counts
@@ -227,7 +248,9 @@ type Activity struct {
 // The deterministic part of the result is served from the phase memo when
 // one is enabled (see WithMemo); measurement noise, when configured, is
 // drawn per call and applied after, so noisy results keep their run-to-run
-// variance while the expensive fixed-point solve is shared.
+// variance while the expensive fixed-point solve is shared. To evaluate one
+// phase across many placements, prefer RunPhaseSweep, which additionally
+// hoists the placement-independent part of the solve out of the loop.
 func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
 	var res Result
 	if m.memo != nil && p.Fingerprint != "" {
@@ -241,145 +264,13 @@ func (m *Machine) RunPhase(p *workload.PhaseProfile, idio float64, pl topology.P
 	return res
 }
 
-// computePhase is the deterministic phase model — everything RunPhase does
-// except measurement noise.
-func (m *Machine) computePhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
-	n := pl.Threads()
-	if n == 0 {
-		panic("machine: placement with no cores")
+// groupOf returns the precomputed L2-group index of core c, or -1 for cores
+// the topology does not place in any group.
+func (m *Machine) groupOf(c topology.CoreID) int {
+	if c < 0 || int(c) >= len(m.coreGroup) {
+		return -1
 	}
-	freq := m.Topo.FrequencyHz * m.clockScale()
-
-	// --- Work division ------------------------------------------------
-	parInstr := p.Instructions * p.ParallelFraction
-	serInstr := p.Instructions - parInstr
-	imb := imbalanceFactor(p.ChunkGranularity, n)
-	// Heaviest thread's share of the parallel instructions.
-	heavyShare := imb / float64(n)
-
-	// --- Per-thread L2 miss rates (placement-dependent) ----------------
-	// Each thread's miss rate depends on how many placement threads share
-	// its L2 group.
-	missL2 := make([]float64, n)
-	for i, c := range pl.Cores {
-		load := pl.GroupLoad(m.Topo, c)
-		missL2[i] = m.l2.MissRateShared(p.WorkingSetBytes, load, p.SharingFactor, p.ColdMissRate, p.LocalityExp)
-	}
-
-	// --- CPI ↔ bus-bandwidth fixed point -------------------------------
-	lineBytes := 64.0
-	storeFrac := 1 - p.LoadFraction
-	trafficPerMiss := lineBytes * (1 + p.StoreBandwidthBoost*storeFrac)
-	mpiL1 := p.MemRefsPerInstr * p.L1MissRate // L2 accesses per instruction
-
-	groupLoads := make([]int, n)
-	for i, c := range pl.Cores {
-		groupLoads[i] = pl.GroupLoad(m.Topo, c)
-	}
-	busFactor := 1.0
-	cpi := make([]float64, n)
-	var busUtil float64
-	for iter := 0; iter < m.Params.FixedPointIters; iter++ {
-		var traffic float64 // bytes/sec offered to the FSB
-		for t := 0; t < n; t++ {
-			cpi[t] = m.threadCPI(p, mpiL1, missL2[t], busFactor, groupLoads[t])
-			mpiL2 := mpiL1 * missL2[t]
-			traffic += mpiL2 * (freq / cpi[t]) * trafficPerMiss
-		}
-		newFactor := m.fsb.LatencyFactor(traffic)
-		busFactor = 0.5*busFactor + 0.5*newFactor
-		busUtil = m.fsb.Utilization(traffic)
-	}
-
-	// --- Cycle accounting ----------------------------------------------
-	// Serial section runs on one thread with a single-thread L2 share.
-	serMiss := m.l2.MissRateShared(p.WorkingSetBytes, 1, p.SharingFactor, p.ColdMissRate, p.LocalityExp)
-	serCPI := m.threadCPI(p, mpiL1, serMiss, busFactor, 1)
-	serCycles := serInstr * serCPI
-
-	// Critical-section serialisation and hidden idiosyncrasy both grow
-	// with thread count; neither is visible in the cache/bus counters.
-	critFactor := 1 + p.CriticalFraction*float64(n-1)
-	idioFactor := 1 + idio*float64(n-1)/3
-	if idioFactor < 0.5 {
-		idioFactor = 0.5
-	}
-
-	// The slowest thread gates the end-of-phase barrier: the heaviest
-	// chunk share executed at the worst per-thread CPI.
-	perThreadIPC := make([]float64, n)
-	maxCPI := 0.0
-	for t := 0; t < n; t++ {
-		if cpi[t] > maxCPI {
-			maxCPI = cpi[t]
-		}
-		if cpi[t] > 0 {
-			perThreadIPC[t] = 1 / (cpi[t] * critFactor * idioFactor)
-		}
-	}
-	parCycles := parInstr * heavyShare * maxCPI * critFactor * idioFactor
-
-	syncCycles := 0.0
-	if n > 1 {
-		syncCycles = p.SyncCycles * (1 + math.Log2(float64(n))) * idioFactor
-	}
-
-	// Bandwidth wall: the phase cannot finish faster than its total bus
-	// traffic takes to transfer. In the saturated regime execution time is
-	// proportional to bytes moved — the mechanism behind IS and MG losing
-	// performance when destructive L2 sharing multiplies their misses.
-	//
-	// Note: near saturation the queueing factor above and this wall
-	// overlap slightly; lowering the clock reduces offered load and hence
-	// queueing, which can shave up to ~10% off a saturated phase's
-	// latency-inflated compute path. The wall bounds the effect; it is a
-	// known, benign artifact of the analytic composition.
-	var avgMissL2 float64
-	for _, mr := range missL2 {
-		avgMissL2 += mr
-	}
-	avgMissL2 /= float64(n)
-	totalBytes := p.Instructions * mpiL1 * avgMissL2 * trafficPerMiss
-	bwCycles := m.fsb.MinTransferTime(totalBytes) * freq
-
-	wallCycles := serCycles + parCycles + syncCycles
-	if bwCycles > wallCycles {
-		wallCycles = bwCycles
-	}
-	wallCycles *= m.responseFactor(p, pl)
-	timeSec := wallCycles / freq
-
-	// --- Event counts ---------------------------------------------------
-	counts := m.eventCounts(p, pl, missL2, wallCycles, busUtil)
-
-	// --- Activity for the power model ------------------------------------
-	var sumIPC float64
-	for _, v := range perThreadIPC {
-		sumIPC += v
-	}
-	avgCoreIPC := sumIPC / float64(n)
-	stall := m.stallFraction(p, mpiL1, missL2[0], busFactor)
-	act := Activity{
-		TimeSec:          timeSec,
-		ActiveCores:      n,
-		TotalCores:       m.Topo.NumCores,
-		AvgCoreIPC:       avgCoreIPC,
-		PeakIPC:          m.Params.PeakIssueIPC,
-		AvgCoreUtil:      1 - stall,
-		BusUtilization:   busUtil,
-		BusBytes:         counts[pmu.BusTransMem] * lineBytes,
-		L2AccessesPerSec: counts[pmu.L2References] / math.Max(timeSec, 1e-12),
-		FreqScale:        m.clockScale(),
-	}
-
-	return Result{
-		TimeSec:      timeSec,
-		WallCycles:   wallCycles,
-		AggIPC:       p.Instructions / wallCycles,
-		PerThreadIPC: perThreadIPC,
-		Counts:       counts,
-		Activity:     act,
-	}
+	return m.coreGroup[c]
 }
 
 // threadCPI composes one thread's cycles-per-instruction from core, branch,
@@ -388,11 +279,11 @@ func (m *Machine) computePhase(p *workload.PhaseProfile, idio float64, pl topolo
 // threads contend for the L2's ports, inflating its access latency.
 func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64, groupLoad int) float64 {
 	coreCPI := 1 / p.BaseIPC
-	branch := p.BranchRate * p.BranchMissRate * m.Params.BranchMissPenaltyCycles
-	tlb := p.MemRefsPerInstr * p.TLBMissRate * m.Params.TLBMissPenaltyCycles
+	branch := p.BranchRate * p.BranchMissRate * m.params.BranchMissPenaltyCycles
+	tlb := p.MemRefsPerInstr * p.TLBMissRate * m.params.TLBMissPenaltyCycles
 
 	mlpL2 := math.Max(1, 0.7*p.MLP) // L2 hits overlap slightly less than misses
-	l2Lat := m.Params.L2LatencyCycles
+	l2Lat := m.params.L2LatencyCycles
 	if groupLoad > 1 {
 		l2Lat *= 1 + 0.35*float64(groupLoad-1)
 	}
@@ -401,11 +292,11 @@ func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor f
 	prefetchHide := 1 - 0.6*p.PrefetchFriendly
 	// Memory service time is a wall-clock constant: its cost in core
 	// cycles scales with the clock (DVFS).
-	memLat := m.Params.MemLatencyCycles * m.clockScale() * busFactor * prefetchHide
+	memLat := m.params.MemLatencyCycles * m.clockScale() * busFactor * prefetchHide
 	memTerm := mpiL1 * missL2 * memLat / p.MLP
 
 	cpi := coreCPI + branch + tlb + l2Term + memTerm
-	minCPI := 1 / m.Params.PeakIssueIPC
+	minCPI := 1 / m.params.PeakIssueIPC
 	if cpi < minCPI {
 		cpi = minCPI
 	}
@@ -428,7 +319,7 @@ func (m *Machine) stallFraction(p *workload.PhaseProfile, mpiL1, missL2, busFact
 }
 
 // eventCounts builds the aggregate ground-truth PMU counts for the phase.
-func (m *Machine) eventCounts(p *workload.PhaseProfile, pl topology.Placement, missL2 []float64, wallCycles, busUtil float64) pmu.Counts {
+func (m *Machine) eventCounts(p *workload.PhaseProfile, missL2 []float64, wallCycles, busUtil float64) pmu.Counts {
 	instr := p.Instructions
 	memRefs := instr * p.MemRefsPerInstr
 	l1Miss := memRefs * p.L1MissRate
@@ -467,6 +358,8 @@ func (m *Machine) eventCounts(p *workload.PhaseProfile, pl topology.Placement, m
 // Events are perturbed in catalogue order so the draws a result consumes
 // from the noise stream are deterministic (the old map-backed Counts
 // iterated in random order, silently breaking seed reproducibility).
+// PerThreadIPC is deliberately untouched: on memoised machines it aliases
+// the cache's canonical slice.
 func (m *Machine) perturb(r *Result) {
 	tf := m.noiseSrc.Multiplicative(m.timeSigma)
 	r.TimeSec *= tf
@@ -515,7 +408,7 @@ func (m *Machine) MigrationPenalty(p *workload.PhaseProfile, from, to topology.P
 		return 0, 0
 	}
 	lines := refillBytes / 64
-	cycles := lines * m.Params.MemLatencyCycles / math.Max(p.MLP, 1)
+	cycles := lines * m.params.MemLatencyCycles / math.Max(p.MLP, 1)
 	return cycles / m.Topo.FrequencyHz, refillBytes
 }
 
@@ -536,7 +429,7 @@ func (m *Machine) clockScale() float64 {
 // executions are unperturbed: the idiosyncrasies modelled here are
 // interactions with the co-location of threads.
 func (m *Machine) responseFactor(p *workload.PhaseProfile, pl topology.Placement) float64 {
-	if m.Params.ResponseSigma <= 0 || p.Fingerprint == "" || pl.Threads() <= 1 {
+	if m.params.ResponseSigma <= 0 || p.Fingerprint == "" || pl.Threads() <= 1 {
 		return 1
 	}
 	h := uint64(1469598103934665603)
@@ -560,7 +453,7 @@ func (m *Machine) responseFactor(p *workload.PhaseProfile, pl topology.Placement
 		z += u - 0.5
 	}
 	z *= math.Sqrt(3) // var(sum of 4 U(-0.5,0.5)) = 1/3 → scale to 1
-	return math.Exp(m.Params.ResponseSigma * z)
+	return math.Exp(m.params.ResponseSigma * z)
 }
 
 func placementEqual(a, b topology.Placement) bool {

@@ -42,7 +42,7 @@ func TestRunPhaseBasicInvariants(t *testing.T) {
 		if res.AggIPC <= 0 {
 			t.Errorf("%s: non-positive IPC %g", cfg.Name, res.AggIPC)
 		}
-		maxIPC := float64(cfg.Threads()) * m.Params.PeakIssueIPC
+		maxIPC := float64(cfg.Threads()) * m.Params().PeakIssueIPC
 		if res.AggIPC > maxIPC {
 			t.Errorf("%s: IPC %g exceeds issue bound %g", cfg.Name, res.AggIPC, maxIPC)
 		}
@@ -219,7 +219,7 @@ func TestResponseFactorProperties(t *testing.T) {
 		t.Errorf("fingerprint-less response factor = %g, want 1", got)
 	}
 	m2 := *m
-	m2.Params.ResponseSigma = 0
+	m2.params.ResponseSigma = 0
 	if got := m2.responseFactor(&p, cfg4); got != 1 {
 		t.Errorf("zero-sigma response factor = %g, want 1", got)
 	}
@@ -268,7 +268,7 @@ func TestRunPhaseQuickProperties(t *testing.T) {
 		if !(res.TimeSec > 0) || math.IsNaN(res.TimeSec) || math.IsInf(res.TimeSec, 0) {
 			return false
 		}
-		if !(res.AggIPC > 0) || res.AggIPC > float64(cfg.Threads())*m.Params.PeakIssueIPC {
+		if !(res.AggIPC > 0) || res.AggIPC > float64(cfg.Threads())*m.Params().PeakIssueIPC {
 			return false
 		}
 		for _, v := range res.Counts {

@@ -17,11 +17,21 @@ import (
 // the same (phase, placement) pair at every timestep, so hit rates in the
 // evaluation pipeline are extremely high.
 //
+// The cache is a sharded, open-addressed hash table. The hot lookup is
+// lock-free and allocation-free: readers atomically load a shard's table
+// pointer and linearly probe immutable entries published with atomic slot
+// stores. Writers (misses only) serialise on a per-shard mutex and grow
+// the shard's table copy-on-write, so a replay-heavy workload never
+// contends on a lock after warm-up. Compare the previous sync.Map design:
+// every lookup boxed its key into an interface (one allocation per hit)
+// and every hit copied the result's PerThreadIPC slice (a second
+// allocation).
+//
 // The cache deliberately excludes measurement noise: RunPhase applies
 // perturbation after the lookup, so noisy machines share the memo with
 // their noiseless ground-truth counterpart.
 type phaseMemo struct {
-	m            sync.Map // memoKey → *Result (canonical, never mutated)
+	shards       [memoShardCount]memoShard
 	hits, misses atomic.Uint64
 
 	// epochCounter allocates params epochs (see Machine.SetParams). It
@@ -31,8 +41,34 @@ type phaseMemo struct {
 	epochCounter atomic.Uint64
 }
 
-// nextEpoch returns a fresh, never-before-issued params epoch.
-func (c *phaseMemo) nextEpoch() uint64 { return c.epochCounter.Add(1) }
+// memoShardCount is a power of two; the low hash bits select the shard and
+// the remaining bits seed the in-shard probe sequence.
+const memoShardCount = 64
+
+// memoShard is one lock domain of the cache.
+type memoShard struct {
+	mu    sync.Mutex // serialises writers; readers never take it
+	count int        // live entries, guarded by mu
+	table atomic.Pointer[memoTable]
+}
+
+// memoTable is an open-addressed slot array with linear probing. Slots are
+// write-once: nil → *memoEntry. Tables are replaced wholesale on growth;
+// a reader holding a superseded table still sees every entry that was
+// published in it.
+type memoTable struct {
+	mask  uint64
+	slots []atomic.Pointer[memoEntry]
+}
+
+// memoEntry is an immutable (key, result) pair. res.PerThreadIPC is the
+// canonical slice shared with every Result served from the cache — callers
+// must treat it as read-only (see WithMemo).
+type memoEntry struct {
+	hash uint64
+	key  memoKey
+	res  Result
+}
 
 type memoKey struct {
 	fingerprint string
@@ -43,40 +79,153 @@ type memoKey struct {
 	paramsEpoch uint64
 }
 
-// lookup returns the memoised deterministic result for the task, computing
-// and inserting it on first use. The returned Result owns a private
-// PerThreadIPC slice, so callers (and perturb) may mutate it freely.
-func (c *phaseMemo) lookup(m *Machine, p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
-	key := memoKey{
+// nextEpoch returns a fresh, never-before-issued params epoch.
+func (c *phaseMemo) nextEpoch() uint64 { return c.epochCounter.Add(1) }
+
+// memoSeed folds the placement-independent key fields — fingerprint, clock
+// scale, idiosyncrasy and params epoch — into a partial FNV-1a hash.
+// RunPhaseSweep computes it once per phase and extends it per placement,
+// so the per-lookup hashing cost in a sweep is just the placement tail.
+func (m *Machine) memoSeed(p *workload.PhaseProfile) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(p.Fingerprint); i++ {
+		h ^= uint64(p.Fingerprint[i])
+		h *= 1099511628211
+	}
+	h ^= math.Float64bits(m.clockScale())
+	h *= 1099511628211
+	h ^= m.paramsEpoch
+	h *= 1099511628211
+	return h
+}
+
+// memoHash extends a memoSeed with the placement identity (name plus the
+// caller-computed coresHash, which the verification key reuses) and the
+// idiosyncrasy, then avalanches so shard and probe bits are independent.
+func memoHash(seed uint64, idio float64, pl *topology.Placement, coresHash uint64) uint64 {
+	h := seed
+	h ^= math.Float64bits(idio)
+	h *= 1099511628211
+	for i := 0; i < len(pl.Name); i++ {
+		h ^= uint64(pl.Name[i])
+		h *= 1099511628211
+	}
+	h ^= coresHash
+	h *= 1099511628211
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// keyFor builds the full verification key for a lookup. coresHash is the
+// placement's hashCores value, computed once per lookup and shared with
+// memoHash.
+func (m *Machine) keyFor(p *workload.PhaseProfile, idio float64, pl *topology.Placement, coresHash uint64) memoKey {
+	return memoKey{
 		fingerprint: p.Fingerprint,
 		placement:   pl.Name,
-		coresHash:   hashCores(pl.Cores),
+		coresHash:   coresHash,
 		freqScale:   m.clockScale(),
 		idio:        idio,
 		paramsEpoch: m.paramsEpoch,
 	}
-	if v, ok := c.m.Load(key); ok {
+}
+
+// get probes the shard for hash/key. The fast path takes no locks and
+// performs no allocations.
+func (c *phaseMemo) get(hash uint64, key *memoKey) *memoEntry {
+	sh := &c.shards[hash&(memoShardCount-1)]
+	t := sh.table.Load()
+	if t == nil {
+		return nil
+	}
+	for i, probes := hash>>6, uint64(0); probes <= t.mask; i, probes = i+1, probes+1 {
+		e := t.slots[i&t.mask].Load()
+		if e == nil {
+			return nil
+		}
+		if e.hash == hash && e.key == *key {
+			return e
+		}
+	}
+	return nil
+}
+
+// insert publishes an entry for (hash, key), returning the canonical entry
+// (a concurrent writer may have published first — the computation is
+// deterministic, so either result serves). res must own its PerThreadIPC
+// slice: the cache keeps it forever and shares it with every hit.
+func (c *phaseMemo) insert(hash uint64, key memoKey, res Result) *memoEntry {
+	sh := &c.shards[hash&(memoShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	t := sh.table.Load()
+	if t != nil {
+		// Re-probe under the lock: we may have raced another writer.
+		for i, probes := hash>>6, uint64(0); probes <= t.mask; i, probes = i+1, probes+1 {
+			e := t.slots[i&t.mask].Load()
+			if e == nil {
+				break
+			}
+			if e.hash == hash && e.key == key {
+				return e
+			}
+		}
+	}
+	// Grow at 50% load so probe chains stay short for the lock-free
+	// readers. Growth publishes a fresh table; readers mid-probe on the
+	// old one still see a consistent (if slightly stale) view and retry
+	// through the slow path on a miss.
+	if t == nil || uint64(sh.count+1)*2 > t.mask+1 {
+		newSize := uint64(64)
+		if t != nil {
+			newSize = (t.mask + 1) * 2
+		}
+		nt := &memoTable{mask: newSize - 1, slots: make([]atomic.Pointer[memoEntry], newSize)}
+		if t != nil {
+			for i := range t.slots {
+				if e := t.slots[i].Load(); e != nil {
+					nt.place(e)
+				}
+			}
+		}
+		sh.table.Store(nt)
+		t = nt
+	}
+	e := &memoEntry{hash: hash, key: key, res: res}
+	t.place(e)
+	sh.count++
+	return e
+}
+
+// place stores an entry in the first free slot of its probe sequence. The
+// caller holds the shard lock and has verified the key is absent.
+func (t *memoTable) place(e *memoEntry) {
+	for i := e.hash >> 6; ; i++ {
+		slot := &t.slots[i&t.mask]
+		if slot.Load() == nil {
+			slot.Store(e)
+			return
+		}
+	}
+}
+
+// lookup returns the memoised deterministic result for the task, computing
+// and inserting it on first use. Served results share the cache's canonical
+// PerThreadIPC slice; see WithMemo for the read-only contract.
+func (c *phaseMemo) lookup(m *Machine, p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
+	coresHash := hashCores(pl.Cores)
+	hash := memoHash(m.memoSeed(p), idio, &pl, coresHash)
+	key := m.keyFor(p, idio, &pl, coresHash)
+	if e := c.get(hash, &key); e != nil {
 		c.hits.Add(1)
-		return v.(*Result).copyOut()
+		return e.res
 	}
 	c.misses.Add(1)
 	res := m.computePhase(p, idio, pl)
-	canonical := res.copyOut() // private slice the cache keeps forever
-	if prev, loaded := c.m.LoadOrStore(key, &canonical); loaded {
-		// A concurrent computation won the race; both results are
-		// identical (the computation is deterministic), so either copy
-		// serves.
-		return prev.(*Result).copyOut()
-	}
-	return res
-}
-
-// copyOut returns a value copy of the result with its own PerThreadIPC
-// backing array. Counts is an array, so the struct copy already covers it.
-func (r *Result) copyOut() Result {
-	cp := *r
-	cp.PerThreadIPC = append([]float64(nil), r.PerThreadIPC...)
-	return cp
+	return c.insert(hash, key, res).res
 }
 
 // hashCores folds a placement's core list into an FNV-1a hash, so distinct
@@ -93,9 +242,16 @@ func hashCores(cores []topology.CoreID) uint64 {
 // WithMemo returns a copy of the machine that serves the deterministic part
 // of RunPhase from a shared phase-response cache. Derived machines
 // (WithNoise, WithFrequency) share the memo — frequency-scaled results are
-// distinguished by the cache key. Params changes are safe when made through
-// SetParams, which bumps the params epoch in the cache key; writing the
-// Params field directly on a memoised machine serves stale responses.
+// distinguished by the cache key. Params changes are made through
+// SetParams, which bumps the params epoch in the cache key (the Params
+// field is unexported precisely so stale cached responses cannot be served
+// by accident).
+//
+// Results served from the cache share one canonical PerThreadIPC backing
+// array per (phase, placement) — the hot hit path performs zero
+// allocations. Callers must treat PerThreadIPC as read-only on memoised
+// machines; every other Result field is a value copy and may be mutated
+// freely (measurement noise is applied to the copy).
 //
 // Phases without a Fingerprint bypass the cache entirely.
 func (m *Machine) WithMemo() *Machine {

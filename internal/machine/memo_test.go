@@ -93,14 +93,33 @@ func TestMemoConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
-func TestMemoPerThreadIPCIsPrivate(t *testing.T) {
+// TestMemoHitSharesCanonicalPerThreadIPC pins the zero-allocation hit
+// contract: every Result served for the same (phase, placement) aliases one
+// canonical PerThreadIPC backing array (documented read-only in WithMemo),
+// and the hot hit path performs no allocations at all.
+func TestMemoHitSharesCanonicalPerThreadIPC(t *testing.T) {
 	m := newMachine(t).WithMemo()
 	p := testPhase()
 	cfg, _ := topology.ConfigByName("4")
-	r1 := m.RunPhase(&p, 0.1, cfg)
-	r1.PerThreadIPC[0] = -1 // caller scribbles on its copy
-	if r2 := m.RunPhase(&p, 0.1, cfg); r2.PerThreadIPC[0] == -1 {
-		t.Error("cache handed out a shared PerThreadIPC slice")
+	r1 := m.RunPhase(&p, 0.1, cfg) // miss: fills the cache
+	r2 := m.RunPhase(&p, 0.1, cfg) // hit
+	if len(r1.PerThreadIPC) == 0 || &r1.PerThreadIPC[0] != &r2.PerThreadIPC[0] {
+		t.Error("memo hits should alias the canonical PerThreadIPC slice (zero-alloc contract)")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		m.RunPhase(&p, 0.1, cfg)
+	}); allocs != 0 {
+		t.Errorf("memoised RunPhase hit allocates %.1f objects/op, want 0", allocs)
+	}
+	// Measurement noise is applied to the served copy and must leave the
+	// canonical per-thread slice untouched.
+	noisy := m.WithNoise(noise.New(7), 0.05, 0.1)
+	before := append([]float64(nil), r1.PerThreadIPC...)
+	noisy.RunPhase(&p, 0.1, cfg)
+	for i, v := range r1.PerThreadIPC {
+		if v != before[i] {
+			t.Fatal("perturb mutated the canonical PerThreadIPC slice")
+		}
 	}
 }
 
@@ -111,7 +130,7 @@ func TestMemoSetParamsInvalidates(t *testing.T) {
 
 	before := m.RunPhase(&p, 0.1, cfg) // miss: fills the cache
 
-	slow := m.Params
+	slow := m.Params()
 	slow.MemLatencyCycles *= 4
 	m.SetParams(slow)
 	after := m.RunPhase(&p, 0.1, cfg)
@@ -146,9 +165,9 @@ func TestMemoSetParamsOnDerivedMachinesCannotCollide(t *testing.T) {
 	p := testPhase()
 	cfg, _ := topology.ConfigByName("4")
 
-	fast := a.Params
+	fast := a.Params()
 	fast.MemLatencyCycles /= 2
-	slow := a.Params
+	slow := a.Params()
 	slow.MemLatencyCycles *= 2
 	a.SetParams(fast)
 	b.SetParams(slow) // epochs come from the shared memo: must differ from a's
@@ -168,14 +187,14 @@ func TestMemoSetParamsBeforeWithMemoStaysInvalidatable(t *testing.T) {
 	p := testPhase()
 	cfg, _ := topology.ConfigByName("4")
 
-	pre := m.Params
+	pre := m.Params()
 	pre.MemLatencyCycles /= 2
 	m.SetParams(pre) // advances the epoch before any memo exists
 
 	mm := m.WithMemo()
 	before := mm.RunPhase(&p, 0.1, cfg) // caches under the pre-memo epoch
 
-	slow := mm.Params
+	slow := mm.Params()
 	slow.MemLatencyCycles *= 8
 	mm.SetParams(slow) // the fresh memo's counter must not re-issue that epoch
 	after := mm.RunPhase(&p, 0.1, cfg)

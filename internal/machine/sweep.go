@@ -1,0 +1,337 @@
+package machine
+
+import (
+	"math"
+	"sync"
+
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// This file is the batched phase-sweep engine: the vectorised form of the
+// phase model plus RunPhaseSweep, which evaluates one phase across many
+// placements in a single call.
+//
+// Two observations make the solve cheap without changing a single output
+// bit:
+//
+//  1. Within a placement, a thread's L2 miss rate and CPI depend on the
+//     placement only through its group load (how many placement threads
+//     share its L2). A 32-thread placement on paired-L2 groups has at most
+//     two distinct loads, so the fixed point needs two threadCPI solves
+//     per iteration instead of 32. Per-thread quantities are then fanned
+//     back out in thread order, so every sum accumulates the exact same
+//     values in the exact same order as the per-thread loop did.
+//  2. Across the placements of a sweep, the miss-rate-per-group-load table
+//     depends only on the phase, so it is computed once for the whole
+//     sweep rather than once per placement.
+//
+// Scratch state lives in a pooled phaseCtx, so steady-state evaluation
+// allocates only each Result's PerThreadIPC slice (and nothing at all when
+// the memo serves a hit).
+
+// phaseCtx is the reusable scratch of one phase evaluation (or one sweep).
+type phaseCtx struct {
+	occ    []int     // per-L2-group occupancy of the current placement
+	loads  []int     // per-thread group load
+	missL2 []float64 // per-thread L2 miss rate
+	cpi    []float64 // per-thread CPI
+
+	// missByLoad caches m.l2.MissRateShared per group load for the phase
+	// the context was last reset for; valid across every placement of one
+	// sweep. Index 0 holds the (degenerate) load-zero value for cores
+	// outside any L2 group.
+	missByLoad []float64
+	haveMiss   []bool
+
+	// cpiByLoad holds one fixed-point iteration's CPI per distinct load.
+	cpiByLoad []float64
+	// loadList is the distinct group loads present in the current
+	// placement, in first-appearance order.
+	loadList []int
+}
+
+var ctxPool = sync.Pool{New: func() any { return &phaseCtx{} }}
+
+// resetPhase invalidates the per-phase miss-rate cache and sizes the
+// per-load tables for loads up to maxLoad.
+func (ctx *phaseCtx) resetPhase() {
+	for i := range ctx.haveMiss {
+		ctx.haveMiss[i] = false
+	}
+}
+
+// sizeFor grows the scratch slices for a placement of n threads over
+// nGroups L2 groups with group loads at most maxLoad.
+func (ctx *phaseCtx) sizeFor(nGroups, n, maxLoad int) {
+	if cap(ctx.occ) < nGroups {
+		ctx.occ = make([]int, nGroups)
+	}
+	ctx.occ = ctx.occ[:nGroups]
+	if cap(ctx.loads) < n {
+		ctx.loads = make([]int, n)
+		ctx.missL2 = make([]float64, n)
+		ctx.cpi = make([]float64, n)
+	}
+	ctx.loads = ctx.loads[:n]
+	ctx.missL2 = ctx.missL2[:n]
+	ctx.cpi = ctx.cpi[:n]
+	if cap(ctx.missByLoad) < maxLoad+1 {
+		grown := make([]float64, maxLoad+1)
+		copy(grown, ctx.missByLoad)
+		ctx.missByLoad = grown
+		grownValid := make([]bool, maxLoad+1)
+		copy(grownValid, ctx.haveMiss[:len(ctx.haveMiss)])
+		ctx.haveMiss = grownValid
+		ctx.cpiByLoad = make([]float64, maxLoad+1)
+	}
+	ctx.missByLoad = ctx.missByLoad[:cap(ctx.missByLoad)]
+	ctx.haveMiss = ctx.haveMiss[:cap(ctx.haveMiss)]
+	ctx.cpiByLoad = ctx.cpiByLoad[:cap(ctx.cpiByLoad)]
+}
+
+// missFor returns the phase's L2 miss rate at the given group load, from
+// the per-phase cache when already solved in this sweep.
+func (ctx *phaseCtx) missFor(m *Machine, p *workload.PhaseProfile, load int) float64 {
+	if !ctx.haveMiss[load] {
+		ctx.missByLoad[load] = m.l2.MissRateShared(p.WorkingSetBytes, load, p.SharingFactor, p.ColdMissRate, p.LocalityExp)
+		ctx.haveMiss[load] = true
+	}
+	return ctx.missByLoad[load]
+}
+
+// computePhase is the deterministic phase model — everything RunPhase does
+// except measurement noise — on pooled scratch.
+func (m *Machine) computePhase(p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
+	ctx := ctxPool.Get().(*phaseCtx)
+	ctx.resetPhase()
+	res := m.computePhaseCtx(ctx, p, idio, pl)
+	ctxPool.Put(ctx)
+	return res
+}
+
+// computePhaseCtx evaluates the phase model for one placement using (and
+// filling) the context's per-phase caches. The caller must have reset the
+// context when switching phase, machine parameters, or L2 capacity.
+func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio float64, pl topology.Placement) Result {
+	n := pl.Threads()
+	if n == 0 {
+		panic("machine: placement with no cores")
+	}
+	freq := m.Topo.FrequencyHz * m.clockScale()
+
+	// --- Work division ------------------------------------------------
+	parInstr := p.Instructions * p.ParallelFraction
+	serInstr := p.Instructions - parInstr
+	imb := imbalanceFactor(p.ChunkGranularity, n)
+	// Heaviest thread's share of the parallel instructions.
+	heavyShare := imb / float64(n)
+
+	// --- Per-thread group loads (placement-dependent, O(n)) ------------
+	ctx.sizeFor(len(m.Topo.L2Groups), n, n)
+	occ := ctx.occ
+	for i := range occ {
+		occ[i] = 0
+	}
+	for _, c := range pl.Cores {
+		if g := m.groupOf(c); g >= 0 {
+			occ[g]++
+		}
+	}
+	loads := ctx.loads
+	ctx.loadList = ctx.loadList[:0]
+	seen := 0 // bitmask over loads (loads ≤ n ≤ 63 in practice; fall back to scan)
+	for i, c := range pl.Cores {
+		load := 0
+		if g := m.groupOf(c); g >= 0 {
+			load = occ[g]
+		}
+		loads[i] = load
+		if load < 64 {
+			if seen&(1<<load) == 0 {
+				seen |= 1 << load
+				ctx.loadList = append(ctx.loadList, load)
+			}
+		} else if !containsInt(ctx.loadList, load) {
+			ctx.loadList = append(ctx.loadList, load)
+		}
+	}
+
+	// --- Per-thread L2 miss rates (shared per group load) --------------
+	missL2 := ctx.missL2
+	for i, load := range loads {
+		missL2[i] = ctx.missFor(m, p, load)
+	}
+
+	// --- CPI ↔ bus-bandwidth fixed point -------------------------------
+	lineBytes := 64.0
+	storeFrac := 1 - p.LoadFraction
+	trafficPerMiss := lineBytes * (1 + p.StoreBandwidthBoost*storeFrac)
+	mpiL1 := p.MemRefsPerInstr * p.L1MissRate // L2 accesses per instruction
+
+	cpi := ctx.cpi
+	busFactor := 1.0
+	var busUtil float64
+	for iter := 0; iter < m.params.FixedPointIters; iter++ {
+		// One threadCPI solve per distinct group load; threads with the
+		// same load share the result bit-for-bit.
+		for _, load := range ctx.loadList {
+			ctx.cpiByLoad[load] = m.threadCPI(p, mpiL1, ctx.missByLoad[load], busFactor, load)
+		}
+		var traffic float64 // bytes/sec offered to the FSB
+		for t := 0; t < n; t++ {
+			cpi[t] = ctx.cpiByLoad[loads[t]]
+			mpiL2 := mpiL1 * missL2[t]
+			traffic += mpiL2 * (freq / cpi[t]) * trafficPerMiss
+		}
+		newFactor := m.fsb.LatencyFactor(traffic)
+		busFactor = 0.5*busFactor + 0.5*newFactor
+		busUtil = m.fsb.Utilization(traffic)
+	}
+
+	// --- Cycle accounting ----------------------------------------------
+	// Serial section runs on one thread with a single-thread L2 share.
+	serMiss := ctx.missFor(m, p, 1)
+	serCPI := m.threadCPI(p, mpiL1, serMiss, busFactor, 1)
+	serCycles := serInstr * serCPI
+
+	// Critical-section serialisation and hidden idiosyncrasy both grow
+	// with thread count; neither is visible in the cache/bus counters.
+	critFactor := 1 + p.CriticalFraction*float64(n-1)
+	idioFactor := 1 + idio*float64(n-1)/3
+	if idioFactor < 0.5 {
+		idioFactor = 0.5
+	}
+
+	// The slowest thread gates the end-of-phase barrier: the heaviest
+	// chunk share executed at the worst per-thread CPI.
+	perThreadIPC := make([]float64, n)
+	maxCPI := 0.0
+	for t := 0; t < n; t++ {
+		if cpi[t] > maxCPI {
+			maxCPI = cpi[t]
+		}
+		if cpi[t] > 0 {
+			perThreadIPC[t] = 1 / (cpi[t] * critFactor * idioFactor)
+		}
+	}
+	parCycles := parInstr * heavyShare * maxCPI * critFactor * idioFactor
+
+	syncCycles := 0.0
+	if n > 1 {
+		syncCycles = p.SyncCycles * (1 + math.Log2(float64(n))) * idioFactor
+	}
+
+	// Bandwidth wall: the phase cannot finish faster than its total bus
+	// traffic takes to transfer. In the saturated regime execution time is
+	// proportional to bytes moved — the mechanism behind IS and MG losing
+	// performance when destructive L2 sharing multiplies their misses.
+	//
+	// Note: near saturation the queueing factor above and this wall
+	// overlap slightly; lowering the clock reduces offered load and hence
+	// queueing, which can shave up to ~10% off a saturated phase's
+	// latency-inflated compute path. The wall bounds the effect; it is a
+	// known, benign artifact of the analytic composition.
+	var avgMissL2 float64
+	for _, mr := range missL2 {
+		avgMissL2 += mr
+	}
+	avgMissL2 /= float64(n)
+	totalBytes := p.Instructions * mpiL1 * avgMissL2 * trafficPerMiss
+	bwCycles := m.fsb.MinTransferTime(totalBytes) * freq
+
+	wallCycles := serCycles + parCycles + syncCycles
+	if bwCycles > wallCycles {
+		wallCycles = bwCycles
+	}
+	wallCycles *= m.responseFactor(p, pl)
+	timeSec := wallCycles / freq
+
+	// --- Event counts ---------------------------------------------------
+	counts := m.eventCounts(p, missL2, wallCycles, busUtil)
+
+	// --- Activity for the power model ------------------------------------
+	var sumIPC float64
+	for _, v := range perThreadIPC {
+		sumIPC += v
+	}
+	avgCoreIPC := sumIPC / float64(n)
+	stall := m.stallFraction(p, mpiL1, missL2[0], busFactor)
+	act := Activity{
+		TimeSec:          timeSec,
+		ActiveCores:      n,
+		TotalCores:       m.Topo.NumCores,
+		AvgCoreIPC:       avgCoreIPC,
+		PeakIPC:          m.params.PeakIssueIPC,
+		AvgCoreUtil:      1 - stall,
+		BusUtilization:   busUtil,
+		BusBytes:         counts[pmu.BusTransMem] * lineBytes,
+		L2AccessesPerSec: counts[pmu.L2References] / math.Max(timeSec, 1e-12),
+		FreqScale:        m.clockScale(),
+	}
+
+	return Result{
+		TimeSec:      timeSec,
+		WallCycles:   wallCycles,
+		AggIPC:       p.Instructions / wallCycles,
+		PerThreadIPC: perThreadIPC,
+		Counts:       counts,
+		Activity:     act,
+	}
+}
+
+// RunPhaseSweep evaluates phase p with idiosyncrasy idio under every
+// placement of placements, writing the result for placements[i] into
+// dst[i]. It is semantically identical — bit for bit, including the order
+// measurement-noise draws are consumed in — to calling RunPhase once per
+// placement in slice order, but hoists the per-phase invariant part of the
+// solve (the L2 miss-rate table, the scratch buffers, the memo key prefix)
+// out of the placement loop. Memo hits fill dst without allocating; see
+// WithMemo for the PerThreadIPC read-only contract.
+//
+// It panics when dst is shorter than placements, mirroring RunPhase's
+// contract violations.
+func (m *Machine) RunPhaseSweep(p *workload.PhaseProfile, idio float64, placements []topology.Placement, dst []Result) {
+	if len(dst) < len(placements) {
+		panic("machine: RunPhaseSweep dst shorter than placements")
+	}
+	ctx := ctxPool.Get().(*phaseCtx)
+	ctx.resetPhase()
+	useMemo := m.memo != nil && p.Fingerprint != ""
+	var seed uint64
+	if useMemo {
+		seed = m.memoSeed(p)
+	}
+	for i := range placements {
+		pl := placements[i]
+		if useMemo {
+			coresHash := hashCores(pl.Cores)
+			hash := memoHash(seed, idio, &pl, coresHash)
+			key := m.keyFor(p, idio, &pl, coresHash)
+			if e := m.memo.get(hash, &key); e != nil {
+				m.memo.hits.Add(1)
+				dst[i] = e.res
+			} else {
+				m.memo.misses.Add(1)
+				res := m.computePhaseCtx(ctx, p, idio, pl)
+				dst[i] = m.memo.insert(hash, key, res).res
+			}
+		} else {
+			dst[i] = m.computePhaseCtx(ctx, p, idio, pl)
+		}
+		if m.noiseSrc != nil {
+			m.perturb(&dst[i])
+		}
+	}
+	ctxPool.Put(ctx)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

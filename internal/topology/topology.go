@@ -206,15 +206,33 @@ func ConfigByName(name string) (Placement, bool) {
 // same multiset pattern are performance-equivalent under the machine model,
 // so only one representative is produced. This generalises the paper's
 // {1, 2a, 2b, 3, 4} to arbitrary machines.
+//
+// The result is materialised; sweeps that only need one pass should use
+// EnumeratePlacementsFunc, which streams the same placements in the same
+// order without building the slice.
 func EnumeratePlacements(t *Topology) []Placement {
 	var out []Placement
+	EnumeratePlacementsFunc(t, func(p Placement) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// EnumeratePlacementsFunc streams the canonical placements of topology t to
+// yield, in the same order EnumeratePlacements returns them (ascending
+// thread count, canonical occupancy order within a count). Enumeration
+// stops early when yield returns false. Each yielded Placement owns its
+// Cores slice, so callers may retain it.
+func EnumeratePlacementsFunc(t *Topology, yield func(Placement) bool) {
 	seen := make(map[string]bool)
 	groupSizes := make([]int, len(t.L2Groups))
 	for i, g := range t.L2Groups {
 		groupSizes[i] = len(g)
 	}
 	for n := 1; n <= t.NumCores; n++ {
-		for _, occ := range occupancyPatterns(groupSizes, n) {
+		patterns := occupancyPatterns(groupSizes, n)
+		for _, occ := range patterns {
 			key := occKey(occ)
 			if seen[key] {
 				continue
@@ -222,13 +240,14 @@ func EnumeratePlacements(t *Topology) []Placement {
 			seen[key] = true
 			cores := coresForOccupancy(t, occ)
 			name := fmt.Sprintf("%d", n)
-			if len(variantsFor(groupSizes, n)) > 1 {
+			if len(patterns) > 1 {
 				name = fmt.Sprintf("%d:%s", n, key)
 			}
-			out = append(out, Placement{Name: name, Cores: cores})
+			if !yield(Placement{Name: name, Cores: cores}) {
+				return
+			}
 		}
 	}
-	return out
 }
 
 // occupancyPatterns enumerates the distinct non-increasing occupancy
@@ -267,10 +286,6 @@ func occupancyPatterns(groupSizes []int, n int) [][]int {
 	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
 	rec(n, sizes[0], nil)
 	return out
-}
-
-func variantsFor(groupSizes []int, n int) [][]int {
-	return occupancyPatterns(groupSizes, n)
 }
 
 func occKey(occ []int) string {

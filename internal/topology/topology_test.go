@@ -169,3 +169,41 @@ func TestEnumeratePlacementsProperties(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestEnumeratePlacementsFuncStreams pins the streaming iterator's
+// contract: it yields exactly the placements EnumeratePlacements
+// materialises, in the same order, and stops as soon as yield returns
+// false (so 32-core sweeps can consume placements without building the
+// full slice).
+func TestEnumeratePlacementsFuncStreams(t *testing.T) {
+	for _, topo := range []*Topology{QuadCoreXeon(), Manycore(32, 2), Manycore(12, 4)} {
+		want := EnumeratePlacements(topo)
+		var got []Placement
+		EnumeratePlacementsFunc(topo, func(p Placement) bool {
+			got = append(got, p)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d placements, materialised %d", topo.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name || len(got[i].Cores) != len(want[i].Cores) {
+				t.Fatalf("%s: placement %d differs: %v vs %v", topo.Name, i, got[i], want[i])
+			}
+			for j := range want[i].Cores {
+				if got[i].Cores[j] != want[i].Cores[j] {
+					t.Fatalf("%s: placement %d cores differ: %v vs %v", topo.Name, i, got[i], want[i])
+				}
+			}
+		}
+		// Early stop: the iterator must not call yield again after false.
+		calls := 0
+		EnumeratePlacementsFunc(topo, func(Placement) bool {
+			calls++
+			return calls < 3
+		})
+		if calls != 3 {
+			t.Errorf("%s: yield called %d times after early stop, want 3", topo.Name, calls)
+		}
+	}
+}

@@ -4,17 +4,30 @@
 // allocs/op per snapshot plus the relative change from the first to the
 // latest snapshot that has the benchmark.
 //
-// Usage: go run scripts/bench_trend.go   (or `make trend`)
+// With -gate it additionally acts as the CI regression gate: the run fails
+// (exit 1) when any benchmark's ns/op in the latest snapshot regressed by
+// more than -max-regress percent against the previous snapshot. Benchmarks
+// named in the -allow list (comma-separated, matched after stripping the
+// -<GOMAXPROCS> suffix) are reported but never fail the gate — the escape
+// hatch for intentional trade-offs.
+//
+// Usage:
+//
+//	go run scripts/bench_trend.go                  (or `make trend`)
+//	go run scripts/bench_trend.go -gate            (or `make trend-gate`)
+//	go run scripts/bench_trend.go -gate -max-regress 50 -allow BenchmarkFoo,BenchmarkBar
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // snapshot is one BENCH_<n>.json: benchmark name → metric name → value.
@@ -53,7 +66,7 @@ func load(path string) (map[string]map[string]float64, error) {
 
 var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-func main() {
+func loadSnapshots() []snapshot {
 	// Glob rather than count up from 1: a pruned snapshot must not hide
 	// everything after the gap.
 	paths, err := filepath.Glob("BENCH_*.json")
@@ -83,7 +96,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "no BENCH_<n>.json snapshots found (run scripts/bench.sh)")
 		os.Exit(1)
 	}
+	return snaps
+}
 
+func sortedNames(snaps []snapshot) []string {
 	names := map[string]bool{}
 	for _, s := range snaps {
 		for name := range s.values {
@@ -95,7 +111,10 @@ func main() {
 		sorted = append(sorted, name)
 	}
 	sort.Strings(sorted)
+	return sorted
+}
 
+func printTrend(snaps []snapshot, names []string) {
 	for _, metric := range []string{"ns_per_op", "allocs_per_op"} {
 		fmt.Printf("%s across snapshots:\n", metric)
 		header := fmt.Sprintf("%-44s", "benchmark")
@@ -103,7 +122,7 @@ func main() {
 			header += fmt.Sprintf(" %14s", "BENCH_"+strconv.Itoa(s.num))
 		}
 		fmt.Println(header + "        Δ first→last")
-		for _, name := range sorted {
+		for _, name := range names {
 			row := fmt.Sprintf("%-44s", name)
 			var first, last float64
 			haveFirst := false
@@ -125,5 +144,73 @@ func main() {
 			fmt.Println(row)
 		}
 		fmt.Println()
+	}
+}
+
+// gate compares ns/op between the two most recent snapshots and returns
+// false when any non-allowlisted benchmark regressed beyond maxRegressPct.
+func gate(snaps []snapshot, names []string, maxRegressPct float64, allowed map[string]bool) bool {
+	if len(snaps) < 2 {
+		fmt.Println("trend gate: fewer than two snapshots, nothing to compare — pass")
+		return true
+	}
+	prev, last := snaps[len(snaps)-2], snaps[len(snaps)-1]
+	fmt.Printf("trend gate: BENCH_%d vs BENCH_%d, ns/op regression threshold %+.0f%%\n",
+		last.num, prev.num, maxRegressPct)
+	ok := true
+	var skipped []string
+	for _, name := range names {
+		was, okPrev := prev.values[name]["ns_per_op"]
+		now, okLast := last.values[name]["ns_per_op"]
+		if !okPrev || !okLast || was <= 0 {
+			// Added/removed/renamed benchmarks can't be compared — list
+			// them so a regression hidden behind a rename is visible in
+			// the CI log rather than silently passing.
+			skipped = append(skipped, name)
+			continue
+		}
+		change := (now - was) / was * 100
+		if change <= maxRegressPct {
+			continue
+		}
+		if allowed[name] {
+			fmt.Printf("  ALLOWED %-44s %.0f → %.0f ns/op (%+.1f%%)\n", name, was, now, change)
+			continue
+		}
+		fmt.Printf("  FAIL    %-44s %.0f → %.0f ns/op (%+.1f%%)\n", name, was, now, change)
+		ok = false
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("  skipped (added/removed between snapshots): %s\n", strings.Join(skipped, ", "))
+	}
+	if ok {
+		fmt.Println("trend gate: pass")
+	} else {
+		fmt.Println("trend gate: FAIL — regression beyond threshold (allowlist intentional slowdowns with -allow)")
+	}
+	return ok
+}
+
+func main() {
+	gateMode := flag.Bool("gate", false, "fail (exit 1) when ns/op regresses beyond -max-regress vs the previous snapshot")
+	maxRegress := flag.Float64("max-regress", 30, "maximum tolerated ns/op regression in percent (gate mode)")
+	allowList := flag.String("allow", "", "comma-separated benchmark names exempt from the gate")
+	flag.Parse()
+
+	snaps := loadSnapshots()
+	names := sortedNames(snaps)
+
+	if !*gateMode {
+		printTrend(snaps, names)
+		return
+	}
+	allowed := map[string]bool{}
+	for _, name := range strings.Split(*allowList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			allowed[name] = true
+		}
+	}
+	if !gate(snaps, names, *maxRegress, allowed) {
+		os.Exit(1)
 	}
 }
