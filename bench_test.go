@@ -22,6 +22,7 @@ import (
 	"github.com/greenhpc/actor/internal/npb"
 	"github.com/greenhpc/actor/internal/omp"
 	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/power"
 	"github.com/greenhpc/actor/internal/topology"
 )
 
@@ -179,6 +180,45 @@ func BenchmarkExtensionFutureScaling(b *testing.B) {
 	}
 	b.ReportMetric(r.AverageGain(4)*100, "gain4cores-pct")
 	b.ReportMetric(r.AverageGain(32)*100, "gain32cores-pct")
+}
+
+// BenchmarkExtensionHeteroScaling reports the oracle throttling gain on the
+// default heterogeneous scenarios (64-core homogeneous baseline up to the
+// 128-core big/little part), exercising the balanced placement enumeration
+// and the class-aware sweep solve end to end.
+func BenchmarkExtensionHeteroScaling(b *testing.B) {
+	s, _ := sharedSuite(b)
+	var r *exp.HeteroScalingResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = s.HeteroScaling(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AverageGain("64 big")*100, "gain64big-pct")
+	b.ReportMetric(r.AverageGain("64b+64L")*100, "gain128hetero-pct")
+}
+
+// BenchmarkStrategyReplay measures the execute() engine's per-iteration
+// replay: since PR 4 each phase's placement responses are precomputed on
+// the batched sweep path and iterations only copy rows (plus in-order
+// noise), so this tracks the whole-benchmark strategy replay throughput.
+func BenchmarkStrategyReplay(b *testing.B) {
+	m, err := machine.New(topology.QuadCoreXeon())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m = m.WithMemo()
+	env := core.NewEnv(m, m, power.Default())
+	bench, _ := npb.ByName("SP")
+	strat := &core.Static{Config: "4"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := strat.Run(bench, env); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablation benchmarks (design choices from DESIGN.md) ------------------

@@ -1,16 +1,21 @@
 // Command actorsim reproduces the paper's evaluation on the simulated
-// quad-core Xeon platform. Each subcommand regenerates one figure; "all"
-// runs the complete evaluation.
+// quad-core Xeon platform — or, with -topology, on any machine described
+// by a compact topology descriptor. Each subcommand regenerates one
+// figure; "all" runs the complete evaluation.
 //
 // Usage:
 //
-//	actorsim [flags] {scalability|phases|power|accuracy|ranks|throttle|extensions|generalize|robustness|all}
+//	actorsim [flags] {scalability|phases|power|accuracy|ranks|throttle|extensions|hetero|generalize|robustness|all}
 //
 // Flags:
 //
-//	-seed N     experiment seed (default 42)
-//	-fast       use the reduced-fidelity training options (quicker)
-//	-bench B    benchmark for the "phases" subcommand (default SP)
+//	-seed N      experiment seed (default 42)
+//	-fast        use the reduced-fidelity training options (quicker)
+//	-bench B     benchmark for the "phases" subcommand (default SP)
+//	-topology D  run on the machine described by D instead of the
+//	             quad-core Xeon, e.g. "16x2" (32 homogeneous cores) or
+//	             "16x4+32x2:little" (a 128-core big/little part); see
+//	             topology.ParseDesc for the grammar
 package main
 
 import (
@@ -19,12 +24,14 @@ import (
 	"os"
 
 	"github.com/greenhpc/actor/internal/exp"
+	"github.com/greenhpc/actor/internal/topology"
 )
 
 func main() {
 	seed := flag.Int64("seed", 42, "experiment seed")
 	fast := flag.Bool("fast", false, "use reduced-fidelity training options")
 	bench := flag.String("bench", "SP", "benchmark for the phases subcommand")
+	topoDesc := flag.String("topology", "", "topology descriptor (default: the paper's quad-core Xeon)")
 	flag.Parse()
 
 	cmd := "all"
@@ -37,6 +44,13 @@ func main() {
 		opts = exp.FastOptions()
 	}
 	opts.Seed = *seed
+	if *topoDesc != "" {
+		topo, err := topology.ParseDesc(*topoDesc)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Topology = topo
+	}
 
 	suite, err := exp.NewSuite(opts)
 	if err != nil {
@@ -61,6 +75,12 @@ func main() {
 		run8(suite, loo)
 	case "extensions":
 		runExtensions(suite)
+	case "hetero":
+		h, err := suite.HeteroScaling(nil)
+		if err != nil {
+			fatal(err)
+		}
+		h.Render(os.Stdout)
 	case "generalize":
 		g, err := suite.Generalize(12)
 		if err != nil {

@@ -23,7 +23,11 @@ func main() {
 		os.Exit(1)
 	}
 	pm := power.Default()
-	cfgs := topology.PaperConfigs()
+	cfgs, err := topology.PaperConfigsOn(topo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	type row struct {
 		time, pw, en, util [5]float64

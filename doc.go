@@ -9,5 +9,20 @@
 //
 //	go run ./cmd/actorsim all
 //
-// to regenerate every figure of the paper's evaluation.
+// to regenerate every figure of the paper's evaluation on the simulated
+// quad-core Xeon, or pass a topology descriptor to run the evaluation on
+// any machine, including heterogeneous big/little parts:
+//
+//	go run ./cmd/actorsim -topology "16x4+32x2:little" -fast scalability
+//	go run ./cmd/actorsim -fast hetero
+//
+// Topology descriptors follow the grammar of internal/topology.ParseDesc —
+// "count x groupSize [:class]" terms joined by "+", where a class is
+// "big", "little", or an inline "name(freqMult,cpiMult[,smtWidth])"
+// definition — and build the same heterogeneous descriptors the
+// topology.NewBuilder API assembles programmatically. Strategy replays,
+// oracle searches and figure drivers all execute on the batched
+// phase-sweep engine (machine.RunPhaseSweep), whose per-(class, load)
+// vectorised solve is bit-identical to the per-thread model on
+// homogeneous machines.
 package actor

@@ -40,18 +40,30 @@ type Env struct {
 }
 
 // NewEnv builds an environment over the given machines and power model with
-// the paper's configuration space and sampling rules.
+// the paper's configuration space and sampling rules. The machines must
+// model the quad-core Xeon (or any topology hosting cores 0–3); Validate
+// reports a descriptive error otherwise. For other machines use NewEnvWith.
 func NewEnv(meas, truth *machine.Machine, pm *power.Model) *Env {
-	cfgs := topology.PaperConfigs()
-	return &Env{
+	return NewEnvWith(meas, truth, pm, topology.PaperConfigs())
+}
+
+// NewEnvWith builds an environment over an explicit configuration space
+// (e.g. a heterogeneous topology's placement enumeration). By the
+// enumeration convention the last placement is maximal concurrency and
+// becomes the sampling configuration.
+func NewEnvWith(meas, truth *machine.Machine, pm *power.Model, cfgs []topology.Placement) *Env {
+	env := &Env{
 		Machine:           meas,
 		Truth:             truth,
 		Power:             pm,
 		Configs:           cfgs,
-		SampleConfig:      cfgs[len(cfgs)-1],
 		CounterWidth:      2,
 		MaxSampleFraction: 0.20,
 	}
+	if len(cfgs) > 0 {
+		env.SampleConfig = cfgs[len(cfgs)-1]
+	}
+	return env
 }
 
 // Validate reports configuration errors.
@@ -69,6 +81,18 @@ func (e *Env) Validate() error {
 		return fmt.Errorf("core: Env.CounterWidth = %d", e.CounterWidth)
 	case e.MaxSampleFraction <= 0 || e.MaxSampleFraction > 1:
 		return fmt.Errorf("core: Env.MaxSampleFraction = %g", e.MaxSampleFraction)
+	}
+	// The configuration space must fit the measurement machine: the paper
+	// configs silently assumed the quad-core Xeon, which turned a
+	// mismatched topology into an index panic deep in the solve.
+	topo := e.Machine.Topo
+	for _, cfg := range e.Configs {
+		if err := topo.ValidatePlacement(cfg); err != nil {
+			return fmt.Errorf("core: Env.Configs does not fit the machine: %w", err)
+		}
+	}
+	if err := topo.ValidatePlacement(e.SampleConfig); err != nil {
+		return fmt.Errorf("core: Env.SampleConfig does not fit the machine: %w", err)
 	}
 	return nil
 }
@@ -126,9 +150,90 @@ type phasePolicy interface {
 	finalConfig() string
 }
 
+// replayIndex maps candidate-placement names to row indices; the candidate
+// set is a property of the Env, so execute builds one index shared by
+// every phase's table instead of one map per phase.
+type replayIndex struct {
+	cands []topology.Placement
+	idx   map[string]int
+}
+
+func newReplayIndex(cands []topology.Placement) *replayIndex {
+	ri := &replayIndex{cands: cands, idx: make(map[string]int, len(cands))}
+	for i := range cands {
+		if _, dup := ri.idx[cands[i].Name]; !dup {
+			ri.idx[cands[i].Name] = i
+		}
+	}
+	return ri
+}
+
+// replayTable holds one phase's deterministic sweep rows across the
+// environment's candidate placements, filled lazily on first use of each
+// placement (a static policy therefore solves exactly one row per phase;
+// an adaptive policy fills the rows it probes). After the fill, the
+// per-iteration strategy replay degenerates to a row copy plus an in-order
+// measurement-noise draw — the last per-iteration RunPhase hot loop now
+// runs on the batched sweep engine's deterministic path. Policies thereby
+// rank precomputed rows; placements outside the table (a policy inventing
+// its own placement) fall back to RunPhase with identical semantics.
+type replayTable struct {
+	index *replayIndex
+	rows  []machine.Result
+	have  []bool
+}
+
+// replayCandidates is the placement universe a policy can return: the
+// configuration space plus the sampling configuration (when it is not
+// already one of the configs).
+func (e *Env) replayCandidates() []topology.Placement {
+	cands := make([]topology.Placement, 0, len(e.Configs)+1)
+	cands = append(cands, e.Configs...)
+	inSpace := false
+	for _, c := range e.Configs {
+		if samePlacement(c, e.SampleConfig) {
+			inSpace = true
+			break
+		}
+	}
+	if !inSpace && e.SampleConfig.Threads() > 0 {
+		cands = append(cands, e.SampleConfig)
+	}
+	return cands
+}
+
+func newReplayTable(index *replayIndex) *replayTable {
+	return &replayTable{
+		index: index,
+		rows:  make([]machine.Result, len(index.cands)),
+		have:  make([]bool, len(index.cands)),
+	}
+}
+
+// run executes the phase under pl: a (lazily filled) table row plus one
+// in-order noise application when pl is a candidate, a direct RunPhase
+// otherwise. Both paths are bit-identical — noise stream included — to
+// what RunPhase alone would have produced: deterministic fills never touch
+// the noise stream, so when they happen cannot matter.
+func (rt *replayTable) run(env *Env, p *workload.PhaseProfile, idio float64, pl topology.Placement) machine.Result {
+	if i, ok := rt.index.idx[pl.Name]; ok && samePlacement(rt.index.cands[i], pl) {
+		if !rt.have[i] {
+			env.Machine.RunPhaseSweepDeterministic(p, idio, rt.index.cands[i:i+1], rt.rows[i:i+1])
+			rt.have[i] = true
+		}
+		res := rt.rows[i]
+		env.Machine.ApplyNoise(&res)
+		return res
+	}
+	return env.Machine.RunPhase(p, idio, pl)
+}
+
 // execute drives the benchmark iteration-by-iteration under per-phase
 // policies, accounting time, energy, and migration penalties. This is the
-// shared engine beneath every strategy.
+// shared engine beneath every strategy. Each phase's placement responses
+// are computed once on the batched sweep engine's deterministic path (see
+// replayTable); the iteration loop only replays rows and draws measurement
+// noise in execution order.
 func execute(name string, b *workload.Benchmark, env *Env, policies []phasePolicy) (RunResult, error) {
 	if err := env.Validate(); err != nil {
 		return RunResult{}, err
@@ -143,6 +248,11 @@ func execute(name string, b *workload.Benchmark, env *Env, policies []phasePolic
 		Strategy:     name,
 		Benchmark:    b.Name,
 		PhaseConfigs: make(map[string]string, len(b.Phases)),
+	}
+	index := newReplayIndex(env.replayCandidates())
+	tables := make([]*replayTable, len(b.Phases))
+	for pi := range b.Phases {
+		tables[pi] = newReplayTable(index)
 	}
 	var acc power.Accumulator
 	var prev topology.Placement
@@ -162,7 +272,7 @@ func execute(name string, b *workload.Benchmark, env *Env, policies []phasePolic
 				}
 			}
 			wasSampling := policies[pi].sampling()
-			r := env.Machine.RunPhase(p, b.Idiosyncrasy, pl)
+			r := tables[pi].run(env, p, b.Idiosyncrasy, pl)
 			watts := env.Power.Power(r.Activity)
 			acc.Add(r.TimeSec, watts)
 			if env.Tracer != nil {

@@ -62,21 +62,32 @@ func (r *Fig1Result) ClassAverageSpeedup(benches []string, cfg string) float64 {
 	return sum / float64(len(benches))
 }
 
-// Render prints the execution-time table and headline speedups.
+// Render prints the execution-time table and headline speedups. The
+// paper-comparison lines only render when the result actually carries the
+// paper's configuration space (paperConfigSpace); on other topologies the
+// speedup column falls back to the all-cores placement.
 func (r *Fig1Result) Render(w io.Writer) {
 	report.Section(w, "Figure 1: execution times by hardware configuration (seconds)")
+	paper := paperConfigSpace(r.Configs)
+	speedCfg := "4"
+	if !paper {
+		speedCfg = r.Configs[len(r.Configs)-1]
+	}
 	headers := append([]string{"bench"}, r.Configs...)
-	headers = append(headers, "speedup(4)")
+	headers = append(headers, "speedup("+speedCfg+")")
 	t := report.NewTable("", headers...)
 	for _, b := range r.Order {
 		cells := []string{b}
 		for _, c := range r.Configs {
 			cells = append(cells, fmt.Sprintf("%.1f", r.TimeSec[b][c]))
 		}
-		cells = append(cells, fmt.Sprintf("%.2f", r.Speedup(b, "4")))
+		cells = append(cells, fmt.Sprintf("%.2f", r.Speedup(b, speedCfg)))
 		t.AddRow(cells...)
 	}
 	t.Render(w)
+	if !paper {
+		return
+	}
 	report.KV(w, "scalable class avg speedup on 4 (paper 2.37)", "%.2f",
 		r.ClassAverageSpeedup([]string{"BT", "FT", "LU-HP"}, "4"))
 	report.KV(w, "BT speedup on 4 (paper 2.69)", "%.2f", r.Speedup("BT", "4"))

@@ -88,11 +88,13 @@ func (r *Fig3Result) Render(w io.Writer) {
 				"%.3f / %.3f", p, e)
 		}
 	}
-	// Headline scalars from §III-B.
+	// Headline scalars from §III-B — only meaningful on the paper's
+	// configuration space.
 	bt := r.PowerW["BT"]
-	if bt != nil && bt["1"] > 0 {
-		report.KV(w, "BT power ratio 4 vs 1 (paper 1.31)", "%.2f", bt["4"]/bt["1"])
+	if !paperConfigSpace(r.Configs) || bt == nil || bt["1"] <= 0 || bt["4"] <= 0 {
+		return
 	}
+	report.KV(w, "BT power ratio 4 vs 1 (paper 1.31)", "%.2f", bt["4"]/bt["1"])
 	if e := r.EnergyJ["BT"]; e != nil && e["4"] > 0 {
 		report.KV(w, "BT energy ratio 1 vs 4 (paper 2.04)", "%.2f", e["1"]/e["4"])
 	}

@@ -12,8 +12,10 @@ import (
 	"github.com/greenhpc/actor/internal/report"
 )
 
-// TargetConfigs are the configurations the models predict; the sampling
-// configuration (4) is observed directly during the online sample period.
+// TargetConfigs are the configurations the models predict on the paper
+// platform; the sampling configuration (4) is observed directly during the
+// online sample period. Suites on other topologies derive their targets
+// from the active configuration space (Suite.Targets).
 var TargetConfigs = []string{"1", "2a", "2b", "3"}
 
 // LOOModels holds everything the prediction experiments share: the
@@ -41,7 +43,7 @@ type LOOModels struct {
 // fold). Per-task seeds derive from (Options.Seed, task key), so the result
 // is bit-identical at any GOMAXPROCS.
 func (s *Suite) TrainLeaveOneOut() (*LOOModels, error) {
-	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector := s.newCollector()
 	collector.Repetitions = s.Opts.Repetitions
 	collector.NoiseBase = s.noiseBase.Fork("collect")
 	suiteSamples, err := collector.CollectSuite(s.Benches)
@@ -57,6 +59,7 @@ func (s *Suite) TrainLeaveOneOut() (*LOOModels, error) {
 		bank       *core.Bank
 		eventCount int
 	}
+	targets := s.Targets()
 	banks, err := parallel.Map(len(s.Benches), func(i int) (looBank, error) {
 		b := s.Benches[i]
 		budget := pmu.SamplingBudget(b.Iterations, 0.20)
@@ -64,7 +67,7 @@ func (s *Suite) TrainLeaveOneOut() (*LOOModels, error) {
 		train := dataset.LeaveOneOut(suiteSamples, b.Name)
 		cfg := s.Opts.ANN
 		cfg.Seed = parallel.SeedFor(s.Opts.Seed, "loo/"+b.Name)
-		bank, err := core.TrainANNBank(train, []int{len(events)}, TargetConfigs, s.Opts.Folds, cfg)
+		bank, err := core.TrainANNBank(train, []int{len(events)}, targets, s.Opts.Folds, cfg)
 		if err != nil {
 			return looBank{}, fmt.Errorf("leave-one-out training for %s: %w", b.Name, err)
 		}
@@ -122,6 +125,8 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 		Hist:     metrics.NewRankHistogram(len(s.Configs)),
 		PerBench: make(map[string][]string, len(s.Benches)),
 	}
+	targets := s.Targets()
+	sampleName := s.SampleConfig().Name
 	evals, err := parallel.Map(len(s.Benches), func(i int) (benchEval, error) {
 		b := s.Benches[i]
 		var ev benchEval
@@ -148,7 +153,7 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 				if err != nil {
 					return benchEval{}, err
 				}
-				for _, tgt := range TargetConfigs {
+				for _, tgt := range targets {
 					ev.errors = append(ev.errors,
 						metrics.RelativeError(ps.MeasuredIPC[tgt], preds[tgt]))
 				}
@@ -160,9 +165,9 @@ func (s *Suite) EvalPrediction(loo *LOOModels) (*Fig6Result, *Fig7Result, error)
 			if err != nil {
 				return benchEval{}, err
 			}
-			bestName := "4"
+			bestName := sampleName
 			bestIPC := ps.Rates[pmu.Instructions]
-			for _, tgt := range TargetConfigs {
+			for _, tgt := range targets {
 				if preds[tgt] > bestIPC {
 					bestIPC, bestName = preds[tgt], tgt
 				}

@@ -45,12 +45,13 @@ func (s *Suite) Fig8Throttling(loo *LOOModels) (*Fig8Result, error) {
 	res := &Fig8Result{Rows: make(map[string]*Fig8Row, len(s.Benches))}
 	base := s.noiseBase.Fork("fig8")
 	ns := len(Fig8Strategies)
+	allCores := s.SampleConfig().Name // "4" on the paper platform
 	runs, err := parallel.Map(len(s.Benches)*ns, func(i int) (core.RunResult, error) {
 		b, name := s.Benches[i/ns], Fig8Strategies[i%ns]
 		var strat core.Strategy
 		switch name {
 		case "4 Cores":
-			strat = &core.Static{Config: "4"}
+			strat = &core.Static{Config: allCores}
 		case "Global Optimal":
 			strat = core.OracleGlobal{}
 		case "Phase Optimal":
@@ -61,7 +62,7 @@ func (s *Suite) Fig8Throttling(loo *LOOModels) (*Fig8Result, error) {
 			return core.RunResult{}, fmt.Errorf("fig8: unknown strategy %q", name)
 		}
 		noisy := s.Noisy.WithNoiseSource(base.Fork(b.Name + "/" + name))
-		env := core.NewEnv(noisy, s.Truth, s.Power)
+		env := core.NewEnvWith(noisy, s.Truth, s.Power, s.Configs)
 		r, err := strat.Run(b, env)
 		if err != nil {
 			return core.RunResult{}, fmt.Errorf("fig8 %s/%s: %w", b.Name, name, err)

@@ -38,7 +38,7 @@ func (s *Suite) Generalize(apps int) (*GeneralizeResult, error) {
 	if apps < 1 {
 		return nil, fmt.Errorf("exp: need at least one app")
 	}
-	collector := dataset.NewCollector(s.Noisy, s.Truth)
+	collector := s.newCollector()
 	collector.Repetitions = s.Opts.Repetitions
 	suiteSamples, err := collector.CollectSuite(s.Benches)
 	if err != nil {
@@ -48,7 +48,8 @@ func (s *Suite) Generalize(apps int) (*GeneralizeResult, error) {
 	for _, b := range s.Benches {
 		train = append(train, suiteSamples[b.Name]...)
 	}
-	bank, err := core.TrainANNBank(train, []int{12}, TargetConfigs, s.Opts.Folds, s.Opts.ANN)
+	targets := s.Targets()
+	bank, err := core.TrainANNBank(train, []int{12}, targets, s.Opts.Folds, s.Opts.ANN)
 	if err != nil {
 		return nil, err
 	}
@@ -60,8 +61,9 @@ func (s *Suite) Generalize(apps int) (*GeneralizeResult, error) {
 	}
 	res := &GeneralizeResult{Apps: apps}
 	hist := metrics.NewRankHistogram(len(s.Configs))
+	sampleName := s.SampleConfig().Name
 	for _, b := range pop {
-		collector := dataset.NewCollector(s.Noisy, s.Truth)
+		collector := s.newCollector()
 		collector.Repetitions = 1
 		samples, err := collector.CollectBenchmark(b)
 		if err != nil {
@@ -72,13 +74,13 @@ func (s *Suite) Generalize(apps int) (*GeneralizeResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, tgt := range TargetConfigs {
+			for _, tgt := range targets {
 				res.Errors = append(res.Errors,
 					metrics.RelativeError(ps.MeasuredIPC[tgt], preds[tgt]))
 			}
-			bestName := "4"
+			bestName := sampleName
 			bestIPC := ps.Rates[pmu.Instructions]
-			for _, tgt := range TargetConfigs {
+			for _, tgt := range targets {
 				if preds[tgt] > bestIPC {
 					bestIPC, bestName = preds[tgt], tgt
 				}

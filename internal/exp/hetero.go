@@ -1,0 +1,162 @@
+package exp
+
+// HeteroScaling extends FutureScaling to the heterogeneous machines the
+// ROADMAP's north star asks about: big/little parts at 64–128 cores, built
+// from compact topology descriptors (topology.ParseDesc). Where
+// FutureScaling asks "how much does throttling gain as homogeneous core
+// counts grow", HeteroScaling asks the sharper question "how much does
+// *placement-aware* throttling gain when the cores are not interchangeable"
+// — on a big/little part the all-cores baseline drags every phase onto the
+// little cores, so the oracle's win combines thread-count throttling with
+// class selection.
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/parallel"
+	"github.com/greenhpc/actor/internal/report"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// HeteroScenario names one synthetic machine by topology descriptor.
+type HeteroScenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Desc is the compact topology descriptor (see topology.ParseDesc).
+	Desc string
+}
+
+// DefaultHeteroScenarios spans 64 to 128 cores with a growing little-core
+// share: a homogeneous 64-core baseline, then big/little mixes up to the
+// 128-core part the ROADMAP names.
+func DefaultHeteroScenarios() []HeteroScenario {
+	return []HeteroScenario{
+		{Name: "64 big", Desc: "16x4"},
+		{Name: "48b+16L", Desc: "12x4+8x2:little"},
+		{Name: "64b+32L", Desc: "16x4+16x2:little"},
+		{Name: "64b+64L", Desc: "16x4+32x2:little"},
+	}
+}
+
+// HeteroScalingResult quantifies the oracle throttling gain on each
+// scenario machine.
+type HeteroScalingResult struct {
+	Scenarios []HeteroScenario
+	// Cores and Placements map scenario name → machine size and candidate
+	// count.
+	Cores, Placements map[string]int
+	// Gain[scenario][bench] is 1 − bestTime/allCoresTime with oracle
+	// per-phase placements.
+	Gain map[string]map[string]float64
+}
+
+// HeteroScaling evaluates the suite's benchmarks on the given scenarios
+// (DefaultHeteroScenarios when nil). Candidates are the balanced placement
+// space (topology.EnumerateBalancedFunc): per-family thread counts spread
+// evenly across each family's L2 groups — the schedules a runtime would
+// actually choose, and the space that stays tractable at 128 cores where
+// the full occupancy-multiset enumeration has millions of members.
+//
+// The (scenario × benchmark) cells are independent and fan out through the
+// parallel engine; each cell sweeps every phase across the scenario's full
+// candidate set in one RunPhaseSweep call. The machine model is pure, so
+// the table is bit-identical at any GOMAXPROCS.
+func (s *Suite) HeteroScaling(scenarios []HeteroScenario) (*HeteroScalingResult, error) {
+	if scenarios == nil {
+		scenarios = DefaultHeteroScenarios()
+	}
+	res := &HeteroScalingResult{
+		Scenarios:  scenarios,
+		Cores:      map[string]int{},
+		Placements: map[string]int{},
+		Gain:       map[string]map[string]float64{},
+	}
+	type scale struct {
+		m          *machine.Machine
+		placements []topology.Placement
+	}
+	scales := make([]scale, len(scenarios))
+	for si, sc := range scenarios {
+		topo, err := topology.ParseDesc(sc.Desc)
+		if err != nil {
+			return nil, fmt.Errorf("hetero scenario %q: %w", sc.Name, err)
+		}
+		m, err := machine.New(topo)
+		if err != nil {
+			return nil, fmt.Errorf("hetero scenario %q: %w", sc.Name, err)
+		}
+		scales[si] = scale{m: m, placements: topology.BalancedPlacements(topo)}
+		res.Cores[sc.Name] = topo.NumCores
+		res.Placements[sc.Name] = len(scales[si].placements)
+	}
+	nb := len(s.Benches)
+	gains, err := parallel.Map(len(scenarios)*nb, func(i int) (float64, error) {
+		sc, b := scales[i/nb], s.Benches[i%nb]
+		// The balanced enumeration orders by thread count: the last
+		// placement occupies every core of every family — the "use the
+		// whole machine" default the gain is normalised against.
+		dst := make([]machine.Result, len(sc.placements))
+		var tAll, tBest float64
+		for pi := range b.Phases {
+			sc.m.RunPhaseSweep(&b.Phases[pi], b.Idiosyncrasy, sc.placements, dst)
+			ta := dst[len(dst)-1].TimeSec
+			tb := ta
+			for ri := range dst {
+				if tt := dst[ri].TimeSec; tt < tb {
+					tb = tt
+				}
+			}
+			tAll += ta
+			tBest += tb
+		}
+		return 1 - tBest/tAll, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scenarios {
+		row := map[string]float64{}
+		for bi, b := range s.Benches {
+			row[b.Name] = gains[si*nb+bi]
+		}
+		res.Gain[sc.Name] = row
+	}
+	return res, nil
+}
+
+// AverageGain returns the mean gain across the suite for a scenario.
+func (r *HeteroScalingResult) AverageGain(scenario string) float64 {
+	row := r.Gain[scenario]
+	var sum float64
+	for _, v := range row {
+		sum += v
+	}
+	return sum / float64(len(row))
+}
+
+// Render prints the hetero-scaling table.
+func (r *HeteroScalingResult) Render(w io.Writer) {
+	report.Section(w, "Extension: throttling opportunity on heterogeneous big/little machines")
+	headers := []string{"scenario", "cores", "configs"}
+	var benchNames []string
+	for name := range r.Gain[r.Scenarios[0].Name] {
+		benchNames = append(benchNames, name)
+	}
+	benchNames = sortStrings(benchNames)
+	headers = append(headers, benchNames...)
+	headers = append(headers, "AVG")
+	t := report.NewTable("oracle per-phase throttling gain vs all cores (time saved)", headers...)
+	for _, sc := range r.Scenarios {
+		cells := []string{sc.Name,
+			fmt.Sprintf("%d", r.Cores[sc.Name]),
+			fmt.Sprintf("%d", r.Placements[sc.Name])}
+		for _, b := range benchNames {
+			cells = append(cells, fmt.Sprintf("%4.1f%%", 100*r.Gain[sc.Name][b]))
+		}
+		cells = append(cells, fmt.Sprintf("%4.1f%%", 100*r.AverageGain(sc.Name)))
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+}

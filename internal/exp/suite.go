@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/dataset"
 	"github.com/greenhpc/actor/internal/machine"
 	"github.com/greenhpc/actor/internal/noise"
 	"github.com/greenhpc/actor/internal/npb"
@@ -29,6 +30,20 @@ type Options struct {
 	// Seed drives every stochastic component (measurement noise, fold
 	// shuffles, weight initialisation).
 	Seed int64
+	// Topology, when non-nil, replaces the paper's quad-core Xeon with an
+	// arbitrary (possibly heterogeneous) machine; the configuration space
+	// becomes the topology's canonical placement enumeration (balanced
+	// spreads above 32 cores — see topology.EnumerateBalancedFunc) with
+	// the all-cores placement as the sampling configuration. Because the
+	// prediction pipeline trains one model per non-sampling configuration
+	// and labels IPC at every configuration, the suite thins large spaces
+	// to suiteMaxConfigs evenly spaced candidates (ends kept) — a
+	// 128-core big/little part would otherwise mean thousands of ANN
+	// targets and an unrunnable `accuracy` subcommand. Studies that want
+	// the full space (HeteroScaling, FutureScaling) enumerate it
+	// themselves. Nil keeps the paper platform and its {1, 2a, 2b, 3, 4}
+	// space bit-for-bit.
+	Topology *topology.Topology
 	// TimeSigma and CountSigma are the machine measurement noise levels.
 	TimeSigma, CountSigma float64
 	// Repetitions is the number of noisy sampling passes per phase when
@@ -105,7 +120,27 @@ func NewSuite(opts Options) (*Suite, error) {
 	if err := npb.Validate(); err != nil {
 		return nil, err
 	}
-	truth, err := machine.New(topology.QuadCoreXeon())
+	topo := opts.Topology
+	var cfgs []topology.Placement
+	if topo == nil {
+		topo = topology.QuadCoreXeon()
+		cfgs = topology.PaperConfigs()
+	} else {
+		if err := topo.Validate(); err != nil {
+			return nil, err
+		}
+		// Full multiset enumeration up to 32 cores (the FutureScaling
+		// regime); balanced spreads beyond, where the multiset space grows
+		// combinatorially. Either way the trained space is capped (see
+		// Options.Topology).
+		if topo.NumCores <= 32 {
+			cfgs = topology.EnumeratePlacements(topo)
+		} else {
+			cfgs = topology.BalancedPlacements(topo)
+		}
+		cfgs = thinPlacements(cfgs, suiteMaxConfigs)
+	}
+	truth, err := machine.New(topo)
 	if err != nil {
 		return nil, err
 	}
@@ -117,10 +152,63 @@ func NewSuite(opts Options) (*Suite, error) {
 		Truth:     truth,
 		Noisy:     noisy,
 		Power:     power.Default(),
-		Configs:   topology.PaperConfigs(),
+		Configs:   cfgs,
 		Benches:   npb.All(),
 		noiseBase: src,
 	}, nil
+}
+
+// paperConfigSpace reports whether a configuration-name list is the
+// paper's quad-core space, gating the paper-comparison render lines. The
+// tell is "2a"/"2b": enumerated placement names are purely numeric
+// patterns, so a bare "4" on a custom topology (a 4-thread placement on a
+// single-group machine, say) must not trigger paper comparisons.
+func paperConfigSpace(names []string) bool {
+	has := func(want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	return has("2a") && has("2b") && has("4")
+}
+
+// suiteMaxConfigs bounds the configuration space a suite trains and
+// evaluates over on custom topologies; see Options.Topology.
+const suiteMaxConfigs = 24
+
+// thinPlacements keeps at most max placements, evenly spaced over the
+// (thread-count-ordered) candidate list with both ends retained, so the
+// single-thread and all-cores placements always survive.
+func thinPlacements(cfgs []topology.Placement, max int) []topology.Placement {
+	if len(cfgs) <= max {
+		return cfgs
+	}
+	out := make([]topology.Placement, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, cfgs[i*(len(cfgs)-1)/(max-1)])
+	}
+	return out
+}
+
+// SampleConfig returns the maximal-concurrency configuration counters are
+// sampled at: the last of the configuration space by the enumeration
+// convention (config "4" on the paper platform).
+func (s *Suite) SampleConfig() topology.Placement {
+	return s.Configs[len(s.Configs)-1]
+}
+
+// Targets returns the configuration names the predictors learn: every
+// configuration except the sampling one, whose IPC is observed directly.
+// On the paper platform this is exactly TargetConfigs.
+func (s *Suite) Targets() []string {
+	out := make([]string, 0, len(s.Configs)-1)
+	for _, c := range s.Configs[:len(s.Configs)-1] {
+		out = append(out, c.Name)
+	}
+	return out
 }
 
 // Bench returns a benchmark by name.
@@ -140,6 +228,16 @@ func (s *Suite) ConfigNames() []string {
 		out[i] = c.Name
 	}
 	return out
+}
+
+// newCollector returns a sample collector wired to the suite's machines and
+// configuration space (identical to the paper defaults when
+// Options.Topology is unset).
+func (s *Suite) newCollector() *dataset.Collector {
+	c := dataset.NewCollector(s.Noisy, s.Truth)
+	c.Configs = s.Configs
+	c.SampleConfig = s.SampleConfig()
+	return c
 }
 
 // wholeRun is one benchmark's whole-run totals under one configuration.

@@ -85,6 +85,16 @@ type Machine struct {
 	// scans topology.GroupOf would cost on the hot path.
 	coreGroup []int
 
+	// classes snapshots the topology's core-class table (a single
+	// DefaultClass entry on homogeneous machines) and coreClass maps
+	// CoreID → class index, so the hot solve never touches the topology's
+	// fallback logic. classSig folds the per-core class descriptors into
+	// the memo seed: responses computed under one class layout can never
+	// serve another.
+	classes   []topology.CoreClass
+	coreClass []int
+	classSig  uint64
+
 	// noiseSrc, when non-nil, perturbs RunPhase results with run-to-run
 	// variance (time ±~1%, event counts per TimeSigma/CountSigma).
 	noiseSrc   *noise.Source
@@ -120,8 +130,14 @@ func New(t *topology.Topology) (*Machine, error) {
 		return nil, err
 	}
 	cg := make([]int, t.NumCores)
+	cc := make([]int, t.NumCores)
 	for c := range cg {
 		cg[c] = t.GroupOf(topology.CoreID(c))
+		cc[c] = t.ClassIndexOf(topology.CoreID(c))
+	}
+	classes := t.Classes
+	if len(classes) == 0 {
+		classes = []topology.CoreClass{topology.DefaultClass()}
 	}
 	return &Machine{
 		Topo:      t,
@@ -129,8 +145,29 @@ func New(t *topology.Topology) (*Machine, error) {
 		l2:        cache.NewSharingModel(float64(t.L2BytesPerGroup)),
 		fsb:       fsb,
 		coreGroup: cg,
+		classes:   classes,
+		coreClass: cc,
+		classSig:  classSignature(classes, cc),
 		freqScale: 1,
 	}, nil
+}
+
+// classSignature hashes the class layout (per-core class index plus each
+// class's multipliers) for the memo seed.
+func classSignature(classes []topology.CoreClass, coreClass []int) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, c := range classes {
+		mix(math.Float64bits(c.FreqMult))
+		mix(math.Float64bits(c.CPIMult))
+	}
+	for _, ci := range coreClass {
+		mix(uint64(ci))
+	}
+	return h
 }
 
 // WithFrequency returns a copy of the machine clocked at scale × nominal
@@ -202,7 +239,10 @@ type Result struct {
 	// per-phase "observed IPC" (Fig. 2), which exceeds one core's peak
 	// when threads run concurrently.
 	AggIPC float64
-	// PerThreadIPC is each thread's own IPC during the parallel part. On a
+	// PerThreadIPC is each thread's own IPC during the parallel part,
+	// referenced to the machine's nominal clock (on heterogeneous
+	// machines a little core's value is its own-clock IPC times its
+	// FreqMult, so values across classes compare on one time base). On a
 	// memoised machine this slice is the cache's canonical copy, shared by
 	// every Result served for the same (phase, placement) — treat it as
 	// read-only (the zero-allocation hit path depends on it).
@@ -273,12 +313,18 @@ func (m *Machine) groupOf(c topology.CoreID) int {
 	return m.coreGroup[c]
 }
 
-// threadCPI composes one thread's cycles-per-instruction from core, branch,
-// TLB, L2 and memory terms at the current bus latency inflation. groupLoad
-// is the number of placement threads sharing this thread's L2: co-resident
-// threads contend for the L2's ports, inflating its access latency.
-func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64, groupLoad int) float64 {
-	coreCPI := 1 / p.BaseIPC
+// threadCPI composes one thread's cycles-per-instruction — in the cycles of
+// the core it runs on — from core, branch, TLB, L2 and memory terms at the
+// current bus latency inflation. groupLoad is the number of placement
+// threads sharing this thread's L2: co-resident threads contend for the
+// L2's ports, inflating its access latency. cls is the core's class:
+// CPIMult scales the core-inherent and issue-bound terms, and FreqMult
+// scales how many of the core's (slower) cycles a wall-clock-constant
+// memory access costs — exactly the DVFS composition, per class. For
+// DefaultClass both multipliers are 1 and every operation below is
+// bit-identical to the homogeneous model.
+func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64, groupLoad int, cls *topology.CoreClass) float64 {
+	coreCPI := cls.CPIMult / p.BaseIPC
 	branch := p.BranchRate * p.BranchMissRate * m.params.BranchMissPenaltyCycles
 	tlb := p.MemRefsPerInstr * p.TLBMissRate * m.params.TLBMissPenaltyCycles
 
@@ -291,23 +337,38 @@ func (m *Machine) threadCPI(p *workload.PhaseProfile, mpiL1, missL2, busFactor f
 
 	prefetchHide := 1 - 0.6*p.PrefetchFriendly
 	// Memory service time is a wall-clock constant: its cost in core
-	// cycles scales with the clock (DVFS).
-	memLat := m.params.MemLatencyCycles * m.clockScale() * busFactor * prefetchHide
+	// cycles scales with the clock (DVFS and, per class, FreqMult).
+	memLat := m.params.MemLatencyCycles * m.clockScale() * cls.FreqMult * busFactor * prefetchHide
 	memTerm := mpiL1 * missL2 * memLat / p.MLP
 
 	cpi := coreCPI + branch + tlb + l2Term + memTerm
-	minCPI := 1 / m.params.PeakIssueIPC
+	minCPI := cls.CPIMult / m.params.PeakIssueIPC
 	if cpi < minCPI {
 		cpi = minCPI
 	}
 	return cpi
 }
 
+// classOf returns the class descriptor of core c (DefaultClass for
+// out-of-range cores, which RunPhase rejects elsewhere).
+func (m *Machine) classOf(c topology.CoreID) *topology.CoreClass {
+	return &m.classes[m.classIdxOf(c)]
+}
+
+// classIdxOf returns the class-table index of core c.
+func (m *Machine) classIdxOf(c topology.CoreID) int {
+	if c < 0 || int(c) >= len(m.coreClass) {
+		return 0
+	}
+	return m.coreClass[c]
+}
+
 // stallFraction estimates the fraction of cycles an active core spends
-// stalled on memory — feeds both ResourceStalls and the power model.
-func (m *Machine) stallFraction(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64) float64 {
-	cpi := m.threadCPI(p, mpiL1, missL2, busFactor, 1)
-	memCPI := cpi - 1/p.BaseIPC
+// stalled on memory — feeds both ResourceStalls and the power model. cls is
+// the class of the representative core (the placement's first).
+func (m *Machine) stallFraction(p *workload.PhaseProfile, mpiL1, missL2, busFactor float64, cls *topology.CoreClass) float64 {
+	cpi := m.threadCPI(p, mpiL1, missL2, busFactor, 1, cls)
+	memCPI := cpi - cls.CPIMult/p.BaseIPC
 	if memCPI < 0 {
 		memCPI = 0
 	}
@@ -319,7 +380,10 @@ func (m *Machine) stallFraction(p *workload.PhaseProfile, mpiL1, missL2, busFact
 }
 
 // eventCounts builds the aggregate ground-truth PMU counts for the phase.
-func (m *Machine) eventCounts(p *workload.PhaseProfile, missL2 []float64, wallCycles, busUtil float64) pmu.Counts {
+// cls is the class of the placement's first core: on heterogeneous machines
+// the synthesised stall cycles carry that core's frequency/CPI multipliers,
+// the same convention the per-phase Activity uses.
+func (m *Machine) eventCounts(p *workload.PhaseProfile, missL2 []float64, wallCycles, busUtil float64, cls *topology.CoreClass) pmu.Counts {
 	instr := p.Instructions
 	memRefs := instr * p.MemRefsPerInstr
 	l1Miss := memRefs * p.L1MissRate
@@ -334,7 +398,7 @@ func (m *Machine) eventCounts(p *workload.PhaseProfile, missL2 []float64, wallCy
 	storeFrac := 1 - p.LoadFraction
 	busTrans := l2Miss * (1 + p.StoreBandwidthBoost*storeFrac)
 
-	stall := m.stallFraction(p, p.MemRefsPerInstr*p.L1MissRate, avgMiss, 1)
+	stall := m.stallFraction(p, p.MemRefsPerInstr*p.L1MissRate, avgMiss, 1, cls)
 
 	return pmu.Counts{
 		pmu.Instructions:   instr,

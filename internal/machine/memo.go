@@ -96,6 +96,11 @@ func (m *Machine) memoSeed(p *workload.PhaseProfile) uint64 {
 	h *= 1099511628211
 	h ^= m.paramsEpoch
 	h *= 1099511628211
+	// Class layout: heterogeneous machines fold their per-core class
+	// multipliers into every key, so a response computed under one class
+	// table can never serve a machine with another.
+	h ^= m.classSig
+	h *= 1099511628211
 	return h
 }
 

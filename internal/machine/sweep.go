@@ -16,13 +16,17 @@ import (
 // Two observations make the solve cheap without changing a single output
 // bit:
 //
-//  1. Within a placement, a thread's L2 miss rate and CPI depend on the
-//     placement only through its group load (how many placement threads
-//     share its L2). A 32-thread placement on paired-L2 groups has at most
-//     two distinct loads, so the fixed point needs two threadCPI solves
+//  1. Within a placement, a thread's L2 miss rate depends on the placement
+//     only through its group load (how many placement threads share its
+//     L2), and its CPI only through (core class, group load). A 32-thread
+//     placement on paired-L2 groups of one class has at most two distinct
+//     (class, load) keys, so the fixed point needs two threadCPI solves
 //     per iteration instead of 32. Per-thread quantities are then fanned
 //     back out in thread order, so every sum accumulates the exact same
-//     values in the exact same order as the per-thread loop did.
+//     values in the exact same order as the per-thread loop did. On
+//     homogeneous machines the class dimension is a single value and the
+//     key degenerates to the bare load — the dedup is test-enforced
+//     bit-identical to the per-thread loop either way.
 //  2. Across the placements of a sweep, the miss-rate-per-group-load table
 //     depends only on the phase, so it is computed once for the whole
 //     sweep rather than once per placement.
@@ -36,7 +40,7 @@ type phaseCtx struct {
 	occ    []int     // per-L2-group occupancy of the current placement
 	loads  []int     // per-thread group load
 	missL2 []float64 // per-thread L2 miss rate
-	cpi    []float64 // per-thread CPI
+	cpi    []float64 // per-thread CPI (nominal-clock referenced)
 
 	// missByLoad caches m.l2.MissRateShared per group load for the phase
 	// the context was last reset for; valid across every placement of one
@@ -45,11 +49,14 @@ type phaseCtx struct {
 	missByLoad []float64
 	haveMiss   []bool
 
-	// cpiByLoad holds one fixed-point iteration's CPI per distinct load.
-	cpiByLoad []float64
-	// loadList is the distinct group loads present in the current
-	// placement, in first-appearance order.
-	loadList []int
+	// cpiByKey holds one fixed-point iteration's CPI per distinct
+	// (class, load) solve key, where key = class*(maxLoad+1) + load.
+	cpiByKey []float64
+	// keyList is the distinct (class, load) keys present in the current
+	// placement, in first-appearance order, and keys holds each thread's
+	// key.
+	keyList []int
+	keys    []int
 }
 
 var ctxPool = sync.Pool{New: func() any { return &phaseCtx{} }}
@@ -63,18 +70,21 @@ func (ctx *phaseCtx) resetPhase() {
 }
 
 // sizeFor grows the scratch slices for a placement of n threads over
-// nGroups L2 groups with group loads at most maxLoad.
-func (ctx *phaseCtx) sizeFor(nGroups, n, maxLoad int) {
+// nGroups L2 groups with group loads at most maxLoad and nClasses core
+// classes (the (class, load) key space is nClasses × (maxLoad+1)).
+func (ctx *phaseCtx) sizeFor(nGroups, n, maxLoad, nClasses int) {
 	if cap(ctx.occ) < nGroups {
 		ctx.occ = make([]int, nGroups)
 	}
 	ctx.occ = ctx.occ[:nGroups]
 	if cap(ctx.loads) < n {
 		ctx.loads = make([]int, n)
+		ctx.keys = make([]int, n)
 		ctx.missL2 = make([]float64, n)
 		ctx.cpi = make([]float64, n)
 	}
 	ctx.loads = ctx.loads[:n]
+	ctx.keys = ctx.keys[:n]
 	ctx.missL2 = ctx.missL2[:n]
 	ctx.cpi = ctx.cpi[:n]
 	if cap(ctx.missByLoad) < maxLoad+1 {
@@ -84,11 +94,13 @@ func (ctx *phaseCtx) sizeFor(nGroups, n, maxLoad int) {
 		grownValid := make([]bool, maxLoad+1)
 		copy(grownValid, ctx.haveMiss[:len(ctx.haveMiss)])
 		ctx.haveMiss = grownValid
-		ctx.cpiByLoad = make([]float64, maxLoad+1)
 	}
 	ctx.missByLoad = ctx.missByLoad[:cap(ctx.missByLoad)]
 	ctx.haveMiss = ctx.haveMiss[:cap(ctx.haveMiss)]
-	ctx.cpiByLoad = ctx.cpiByLoad[:cap(ctx.cpiByLoad)]
+	if cap(ctx.cpiByKey) < nClasses*(maxLoad+1) {
+		ctx.cpiByKey = make([]float64, nClasses*(maxLoad+1))
+	}
+	ctx.cpiByKey = ctx.cpiByKey[:cap(ctx.cpiByKey)]
 }
 
 // missFor returns the phase's L2 miss rate at the given group load, from
@@ -128,8 +140,13 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 	// Heaviest thread's share of the parallel instructions.
 	heavyShare := imb / float64(n)
 
-	// --- Per-thread group loads (placement-dependent, O(n)) ------------
-	ctx.sizeFor(len(m.Topo.L2Groups), n, n)
+	// --- Per-thread group loads and solve keys (placement-dependent, O(n))
+	// A thread's CPI depends on the placement through (core class, group
+	// load) only; key = class*(n+1) + load indexes the per-iteration CPI
+	// table. On homogeneous machines class is always 0 and the key is the
+	// bare load, exactly the pre-class solve.
+	ctx.sizeFor(len(m.Topo.L2Groups), n, n, len(m.classes))
+	stride := n + 1
 	occ := ctx.occ
 	for i := range occ {
 		occ[i] = 0
@@ -140,21 +157,27 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 		}
 	}
 	loads := ctx.loads
-	ctx.loadList = ctx.loadList[:0]
-	seen := 0 // bitmask over loads (loads ≤ n ≤ 63 in practice; fall back to scan)
+	keys := ctx.keys
+	ctx.keyList = ctx.keyList[:0]
+	seen := 0 // bitmask over keys (keys ≤ 63 in practice; fall back to scan)
 	for i, c := range pl.Cores {
 		load := 0
 		if g := m.groupOf(c); g >= 0 {
 			load = occ[g]
 		}
 		loads[i] = load
-		if load < 64 {
-			if seen&(1<<load) == 0 {
-				seen |= 1 << load
-				ctx.loadList = append(ctx.loadList, load)
+		key := load
+		if ci := m.classIdxOf(c); ci > 0 {
+			key += ci * stride
+		}
+		keys[i] = key
+		if key < 64 {
+			if seen&(1<<key) == 0 {
+				seen |= 1 << key
+				ctx.keyList = append(ctx.keyList, key)
 			}
-		} else if !containsInt(ctx.loadList, load) {
-			ctx.loadList = append(ctx.loadList, load)
+		} else if !containsInt(ctx.keyList, key) {
+			ctx.keyList = append(ctx.keyList, key)
 		}
 	}
 
@@ -174,14 +197,21 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 	busFactor := 1.0
 	var busUtil float64
 	for iter := 0; iter < m.params.FixedPointIters; iter++ {
-		// One threadCPI solve per distinct group load; threads with the
-		// same load share the result bit-for-bit.
-		for _, load := range ctx.loadList {
-			ctx.cpiByLoad[load] = m.threadCPI(p, mpiL1, ctx.missByLoad[load], busFactor, load)
+		// One threadCPI solve per distinct (class, load) key; threads with
+		// the same key share the result bit-for-bit. The stored value is
+		// referenced to the nominal clock (a little core's own-clock CPI
+		// divided by its FreqMult), so downstream cycle accounting and
+		// instruction rates stay in one clock domain; dividing by the
+		// default class's 1.0 is exact, keeping homogeneous results
+		// bit-identical.
+		for _, key := range ctx.keyList {
+			cls := &m.classes[key/stride]
+			load := key % stride
+			ctx.cpiByKey[key] = m.threadCPI(p, mpiL1, ctx.missByLoad[load], busFactor, load, cls) / cls.FreqMult
 		}
 		var traffic float64 // bytes/sec offered to the FSB
 		for t := 0; t < n; t++ {
-			cpi[t] = ctx.cpiByLoad[loads[t]]
+			cpi[t] = ctx.cpiByKey[keys[t]]
 			mpiL2 := mpiL1 * missL2[t]
 			traffic += mpiL2 * (freq / cpi[t]) * trafficPerMiss
 		}
@@ -191,9 +221,11 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 	}
 
 	// --- Cycle accounting ----------------------------------------------
-	// Serial section runs on one thread with a single-thread L2 share.
+	// Serial section runs on one thread — the placement's first core, with
+	// a single-thread L2 share and that core's class.
+	cls0 := m.classOf(pl.Cores[0])
 	serMiss := ctx.missFor(m, p, 1)
-	serCPI := m.threadCPI(p, mpiL1, serMiss, busFactor, 1)
+	serCPI := m.threadCPI(p, mpiL1, serMiss, busFactor, 1, cls0) / cls0.FreqMult
 	serCycles := serInstr * serCPI
 
 	// Critical-section serialisation and hidden idiosyncrasy both grow
@@ -249,7 +281,7 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 	timeSec := wallCycles / freq
 
 	// --- Event counts ---------------------------------------------------
-	counts := m.eventCounts(p, missL2, wallCycles, busUtil)
+	counts := m.eventCounts(p, missL2, wallCycles, busUtil, cls0)
 
 	// --- Activity for the power model ------------------------------------
 	var sumIPC float64
@@ -257,7 +289,7 @@ func (m *Machine) computePhaseCtx(ctx *phaseCtx, p *workload.PhaseProfile, idio 
 		sumIPC += v
 	}
 	avgCoreIPC := sumIPC / float64(n)
-	stall := m.stallFraction(p, mpiL1, missL2[0], busFactor)
+	stall := m.stallFraction(p, mpiL1, missL2[0], busFactor, cls0)
 	act := Activity{
 		TimeSec:          timeSec,
 		ActiveCores:      n,
@@ -325,6 +357,29 @@ func (m *Machine) RunPhaseSweep(p *workload.PhaseProfile, idio float64, placemen
 		}
 	}
 	ctxPool.Put(ctx)
+}
+
+// RunPhaseSweepDeterministic fills dst like RunPhaseSweep but never draws
+// or applies measurement noise, leaving the machine's noise stream
+// untouched: dst receives exactly what a noiseless copy of the machine
+// would produce. Strategy replay uses it to precompute a phase's response
+// across every candidate placement once, then applies per-execution noise
+// in iteration order with ApplyNoise — the combination is bit-identical to
+// calling RunPhase per iteration, noise stream included.
+func (m *Machine) RunPhaseSweepDeterministic(p *workload.PhaseProfile, idio float64, placements []topology.Placement, dst []Result) {
+	det := *m
+	det.noiseSrc = nil
+	det.RunPhaseSweep(p, idio, placements, dst)
+}
+
+// ApplyNoise perturbs res in place, consuming exactly the measurement-noise
+// draws RunPhase would have consumed for one execution. It is a no-op on
+// machines without a noise source. res.PerThreadIPC is never touched (on
+// memoised machines it aliases the cache's canonical slice).
+func (m *Machine) ApplyNoise(res *Result) {
+	if m.noiseSrc != nil {
+		m.perturb(res)
+	}
 }
 
 func containsInt(s []int, v int) bool {

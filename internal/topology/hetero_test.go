@@ -1,0 +1,328 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBigLittle(t *testing.T) {
+	topo, err := NewBuilder("test").Group(4).Group(2, Class("little")).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCores != 6 {
+		t.Errorf("NumCores = %d, want 6", topo.NumCores)
+	}
+	if len(topo.L2Groups) != 2 || len(topo.L2Groups[0]) != 4 || len(topo.L2Groups[1]) != 2 {
+		t.Errorf("L2Groups = %v", topo.L2Groups)
+	}
+	if !topo.Heterogeneous() {
+		t.Error("big+little topology not Heterogeneous")
+	}
+	if cls := topo.ClassOf(0); cls.Name != "big" || cls.FreqMult != 1 {
+		t.Errorf("core 0 class = %+v, want big", cls)
+	}
+	if cls := topo.ClassOf(5); cls.Name != "little" || cls.FreqMult >= 1 {
+		t.Errorf("core 5 class = %+v, want little", cls)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBuilderAllDefaultStaysHomogeneous(t *testing.T) {
+	topo, err := NewBuilder("homog").Groups(2, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Classes) != 0 || topo.CoreClasses != nil {
+		t.Errorf("all-default build grew class tables: %v %v", topo.Classes, topo.CoreClasses)
+	}
+	if topo.Heterogeneous() {
+		t.Error("default-class topology reports Heterogeneous")
+	}
+}
+
+func TestBuilderSMTExpansion(t *testing.T) {
+	topo, err := NewBuilder("smt").
+		DefineClass(CoreClass{Name: "smt2", FreqMult: 1, CPIMult: 1.4, SMTWidth: 2}).
+		Group(2, Class("smt2")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCores != 4 {
+		t.Errorf("2 cores × SMT2 = %d logical cores, want 4", topo.NumCores)
+	}
+	if len(topo.L2Groups[0]) != 4 {
+		t.Errorf("SMT siblings not in the declaring group: %v", topo.L2Groups)
+	}
+}
+
+func TestBuilderUndefinedClassFails(t *testing.T) {
+	if _, err := NewBuilder("x").Group(2, Class("mythical")).Build(); err == nil {
+		t.Error("undefined class accepted")
+	}
+}
+
+func TestBuilderClassRedefinition(t *testing.T) {
+	// Changing a referenced class must fail (groups store a class index;
+	// rewriting would silently retarget declared cores)...
+	_, err := NewBuilder("m").
+		Group(4).
+		DefineClass(CoreClass{Name: "big", FreqMult: 0.5, CPIMult: 1, SMTWidth: 1}).
+		Group(4).
+		Build()
+	if err == nil {
+		t.Error("redefining a referenced class accepted")
+	}
+	// ...but identical re-definition (the same inline class in two
+	// descriptor specs) and pre-use redefinition stay legal.
+	if _, err := ParseDesc("2x2:c(1,1.5)+4x2:c(1,1.5)"); err != nil {
+		t.Errorf("identical inline redefinition rejected: %v", err)
+	}
+	if _, err := ParseDesc("2x2:c(1,1.5)+4x2:c(1,1.7)"); err == nil {
+		t.Error("conflicting inline redefinition accepted")
+	}
+	topo, err := NewBuilder("pre").
+		DefineClass(CoreClass{Name: "big", FreqMult: 0.5, CPIMult: 1, SMTWidth: 1}).
+		Group(2).
+		Build()
+	if err != nil {
+		t.Fatalf("pre-use redefinition rejected: %v", err)
+	}
+	if !topo.Heterogeneous() {
+		t.Error("pre-use redefinition of the default class did not take effect")
+	}
+}
+
+func TestParseDesc(t *testing.T) {
+	cases := []struct {
+		desc        string
+		cores       int
+		groups      int
+		hetero      bool
+		frequencyHz float64
+	}{
+		{"2x2", 4, 2, false, 2.4e9},
+		{"16x2", 32, 16, false, 2.4e9},
+		{"16x4+32x2:little", 128, 48, true, 2.4e9},
+		{"2x2:eff(0.5,1.5,2)", 8, 2, true, 2.4e9},
+		{"4x2@3.0", 8, 4, false, 3.0e9},
+	}
+	for _, c := range cases {
+		topo, err := ParseDesc(c.desc)
+		if err != nil {
+			t.Errorf("ParseDesc(%q): %v", c.desc, err)
+			continue
+		}
+		if topo.NumCores != c.cores || len(topo.L2Groups) != c.groups {
+			t.Errorf("%q: %d cores / %d groups, want %d / %d",
+				c.desc, topo.NumCores, len(topo.L2Groups), c.cores, c.groups)
+		}
+		if topo.Heterogeneous() != c.hetero {
+			t.Errorf("%q: Heterogeneous = %v, want %v", c.desc, topo.Heterogeneous(), c.hetero)
+		}
+		if topo.FrequencyHz != c.frequencyHz {
+			t.Errorf("%q: FrequencyHz = %g, want %g", c.desc, topo.FrequencyHz, c.frequencyHz)
+		}
+	}
+	for _, bad := range []string{"", "x", "2x", "x2", "0x2", "2x2:nosuch", "2x2:c(", "2x2@-1", "2x2:c(1)",
+		"2x2:c(1,1,-1)", "2x2:c(1,1,0)", "2x2:c(0,1)", "2x2:c(1,-2)"} {
+		if _, err := ParseDesc(bad); err == nil {
+			t.Errorf("ParseDesc(%q) accepted", bad)
+		}
+	}
+}
+
+// TestEnumerateAsymmetricGroups pins the family canonicalization: on a
+// machine with one 4-core group and one 2-core group of the same class, a
+// single thread has two distinct placements (big group vs small group) —
+// the homogeneous enumerator would have collapsed them.
+func TestEnumerateAsymmetricGroups(t *testing.T) {
+	topo := &Topology{
+		Name:            "asym",
+		NumCores:        6,
+		L2Groups:        [][]CoreID{{0, 1, 2, 3}, {4, 5}},
+		L2BytesPerGroup: 4 << 20, L1BytesPerCore: 32 << 10,
+		FrequencyHz: 2.4e9, BusBandwidth: 8.5e9,
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pls := EnumeratePlacements(topo)
+	var oneThread []Placement
+	names := map[string]bool{}
+	for _, pl := range pls {
+		if names[pl.Name] {
+			t.Errorf("duplicate placement name %q", pl.Name)
+		}
+		names[pl.Name] = true
+		if err := topo.ValidatePlacement(pl); err != nil {
+			t.Errorf("enumerated placement invalid: %v", err)
+		}
+		if pl.Threads() == 1 {
+			oneThread = append(oneThread, pl)
+		}
+	}
+	if len(oneThread) != 2 {
+		t.Fatalf("asymmetric groups: %d single-thread placements, want 2 (big, small): %v", len(oneThread), oneThread)
+	}
+	g0 := topo.GroupOf(oneThread[0].Cores[0])
+	g1 := topo.GroupOf(oneThread[1].Cores[0])
+	if g0 == g1 {
+		t.Errorf("both single-thread placements in group %d", g0)
+	}
+}
+
+// TestEnumerateHeteroClasses checks that same-shape groups of different
+// classes are not canonicalized together.
+func TestEnumerateHeteroClasses(t *testing.T) {
+	topo, err := NewBuilder("bl").Group(2).Group(2, Class("little")).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pls := EnumeratePlacements(topo)
+	// Families {big 1×2} and {little 1×2}: n=1 → 1|0, 0|1; n=2 → 2|0,
+	// 1+?... patterns: (2|), (1|1), (|2); n=3 → (2|1), (1|2); n=4 → (2|2).
+	if len(pls) != 8 {
+		t.Fatalf("got %d placements, want 8: %v", len(pls), pls)
+	}
+	homog, err := NewBuilder("hh").Groups(2, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(EnumeratePlacements(homog)); got != 5 {
+		t.Fatalf("homogeneous 2x2: %d placements, want 5", got)
+	}
+}
+
+func TestEnumerateBalanced(t *testing.T) {
+	topo, err := ParseDesc("2x2+2x2:little")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pls := BalancedPlacements(topo)
+	// Π(capacity_f + 1) − 1 = 5×5−1 vectors.
+	if len(pls) != 24 {
+		t.Fatalf("balanced placements = %d, want 24", len(pls))
+	}
+	last := pls[len(pls)-1]
+	if last.Threads() != topo.NumCores {
+		t.Errorf("last balanced placement has %d threads, want all %d", last.Threads(), topo.NumCores)
+	}
+	names := map[string]bool{}
+	for i, pl := range pls {
+		if names[pl.Name] {
+			t.Errorf("duplicate balanced name %q", pl.Name)
+		}
+		names[pl.Name] = true
+		if err := topo.ValidatePlacement(pl); err != nil {
+			t.Errorf("balanced placement %d invalid: %v", i, err)
+		}
+		if i > 0 && pl.Threads() < pls[i-1].Threads() {
+			t.Errorf("balanced placements not ordered by thread count at %d", i)
+		}
+	}
+	// Homogeneous machines keep plain "n" names.
+	homog := Manycore(8, 2)
+	for _, pl := range BalancedPlacements(homog) {
+		if strings.Contains(pl.Name, ":") {
+			t.Errorf("homogeneous balanced name %q has a family suffix", pl.Name)
+		}
+	}
+}
+
+// TestEnumerateBalancedSpreads checks the even-spread shape: 3 threads on
+// a 2×2-group family occupy both groups (2+1), never one group.
+func TestEnumerateBalancedSpreads(t *testing.T) {
+	topo := Manycore(4, 2)
+	for _, pl := range BalancedPlacements(topo) {
+		if pl.Threads() != 3 {
+			continue
+		}
+		occ := map[int]int{}
+		for _, c := range pl.Cores {
+			occ[topo.GroupOf(c)]++
+		}
+		if len(occ) != 2 {
+			t.Errorf("3 balanced threads occupy %d groups, want 2", len(occ))
+		}
+	}
+}
+
+func TestPaperConfigsOnValidation(t *testing.T) {
+	if _, err := PaperConfigsOn(QuadCoreXeon()); err != nil {
+		t.Errorf("PaperConfigsOn(QuadCoreXeon): %v", err)
+	}
+	small, err := NewBuilder("tiny").Group(2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PaperConfigsOn(small); err == nil {
+		t.Error("PaperConfigsOn accepted a 2-core machine")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("error not descriptive: %v", err)
+	}
+	if _, err := ConfigByNameOn(small, "4"); err == nil {
+		t.Error("ConfigByNameOn(tiny, 4) accepted")
+	}
+	if _, err := ConfigByNameOn(small, "1"); err != nil {
+		t.Errorf("ConfigByNameOn(tiny, 1): %v", err)
+	}
+	if _, err := ConfigByNameOn(QuadCoreXeon(), "9z"); err == nil {
+		t.Error("ConfigByNameOn accepted unknown name")
+	}
+}
+
+// TestEnumerateHeteroProperties fuzzes builder topologies (group sizes and
+// classes) through the enumeration invariants: unique names, valid
+// placements, all-cores last, streaming order equals materialised order.
+func TestEnumerateHeteroProperties(t *testing.T) {
+	f := func(bigGroups, bigSize, littleGroups, littleSize uint8) bool {
+		bg := int(bigGroups%3) + 1
+		bs := int(bigSize%3) + 1
+		lg := int(littleGroups % 3)
+		ls := int(littleSize%2) + 1
+		b := NewBuilder("fuzz").Groups(bg, bs)
+		if lg > 0 {
+			b.Groups(lg, ls, Class("little"))
+		}
+		topo, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pls := EnumeratePlacements(topo)
+		if len(pls) == 0 {
+			return false
+		}
+		names := map[string]bool{}
+		for _, pl := range pls {
+			if names[pl.Name] || topo.ValidatePlacement(pl) != nil {
+				return false
+			}
+			names[pl.Name] = true
+		}
+		if pls[len(pls)-1].Threads() != topo.NumCores {
+			return false
+		}
+		var streamed []Placement
+		EnumeratePlacementsFunc(topo, func(p Placement) bool {
+			streamed = append(streamed, p)
+			return true
+		})
+		if len(streamed) != len(pls) {
+			return false
+		}
+		for i := range pls {
+			if streamed[i].Name != pls[i].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

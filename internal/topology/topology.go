@@ -1,21 +1,59 @@
-// Package topology models processor topologies — cores, shared-cache groups
-// and the threading configurations (thread count × placement) that the ACTOR
-// runtime chooses among.
+// Package topology models processor topologies — cores, shared-cache groups,
+// per-core classes (big/little, SMT siblings) and the threading
+// configurations (thread count × placement) that the ACTOR runtime chooses
+// among.
 //
 // The reference machine is the Intel Xeon QX6600 used in the paper: four
 // cores arranged as two dual-core dies on one package, each die pair sharing
 // a 4 MB L2 cache, connected to memory over a 1066 MHz front-side bus. The
-// package also supports synthesising larger hypothetical machines (see
-// Manycore) for the paper's "future many-core" discussion.
+// package also synthesises hypothetical machines: homogeneous many-cores
+// (Manycore), and arbitrary heterogeneous descriptors built with NewBuilder
+// or parsed from a compact descriptor string (ParseDesc) — see builder.go
+// for the grammar.
 package topology
 
 import (
 	"fmt"
-	"sort"
 )
 
 // CoreID identifies a physical core on the machine, numbered from zero.
 type CoreID int
+
+// CoreClass describes a class of cores on a heterogeneous machine. The zero
+// of heterogeneity is DefaultClass (nominal clock, unit CPI, one hardware
+// thread); every topology without explicit classes behaves as if all cores
+// were DefaultClass.
+type CoreClass struct {
+	// Name labels the class, e.g. "big" or "little". Names are unique
+	// within a topology and feed placement naming and memo keys.
+	Name string
+	// FreqMult scales the core clock relative to Topology.FrequencyHz
+	// (little cores run slower: 0 < FreqMult ≤ 1 typically).
+	FreqMult float64
+	// CPIMult scales the core-inherent CPI (narrower issue, shallower
+	// pipelines: CPIMult ≥ 1 typically). SMT issue sharing is folded in
+	// here: a class with SMTWidth > 1 should carry the per-sibling
+	// contention in its CPIMult.
+	CPIMult float64
+	// SMTWidth is the number of hardware threads the builder materialises
+	// per declared core of this class. Siblings appear as distinct CoreIDs
+	// in the same L2 group, so placements and enumeration treat them like
+	// ordinary cores.
+	SMTWidth int
+}
+
+// DefaultClass is the implicit class of every core on a homogeneous
+// topology: nominal clock, unit CPI, no SMT.
+func DefaultClass() CoreClass {
+	return CoreClass{Name: "big", FreqMult: 1, CPIMult: 1, SMTWidth: 1}
+}
+
+// LittleClass is a representative efficiency-core class: 60% clock, 30%
+// more cycles per instruction. Used by the builder when a group references
+// "little" without defining it.
+func LittleClass() CoreClass {
+	return CoreClass{Name: "little", FreqMult: 0.6, CPIMult: 1.3, SMTWidth: 1}
+}
 
 // Topology describes the cores of a machine and how they share caches.
 type Topology struct {
@@ -24,16 +62,53 @@ type Topology struct {
 	// NumCores is the total number of physical cores.
 	NumCores int
 	// L2Groups partitions the cores into groups that share a last-level
-	// cache. Every core appears in exactly one group.
+	// cache. Every core appears in exactly one group. Groups may have
+	// different sizes (asymmetric machines).
 	L2Groups [][]CoreID
 	// L2BytesPerGroup is the capacity of each shared L2 cache in bytes.
 	L2BytesPerGroup int64
 	// L1BytesPerCore is the capacity of each private L1 data cache in bytes.
 	L1BytesPerCore int64
-	// FrequencyHz is the core clock frequency.
+	// FrequencyHz is the nominal core clock frequency; per-class FreqMult
+	// scales it for little cores.
 	FrequencyHz float64
 	// BusBandwidth is the front-side bus bandwidth in bytes per second.
 	BusBandwidth float64
+	// Classes is the core-class table of a heterogeneous machine. Empty
+	// means every core is DefaultClass (all pre-existing topologies).
+	Classes []CoreClass
+	// CoreClasses maps CoreID → index into Classes. Nil means every core
+	// has class 0 (or DefaultClass when Classes is empty too).
+	CoreClasses []int
+}
+
+// Heterogeneous reports whether any core deviates from DefaultClass.
+func (t *Topology) Heterogeneous() bool {
+	def := DefaultClass()
+	for _, c := range t.Classes {
+		if c.FreqMult != def.FreqMult || c.CPIMult != def.CPIMult {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassIndexOf returns the class-table index of core c (0 for cores on
+// homogeneous topologies or outside the class map).
+func (t *Topology) ClassIndexOf(c CoreID) int {
+	if t.CoreClasses == nil || c < 0 || int(c) >= len(t.CoreClasses) {
+		return 0
+	}
+	return t.CoreClasses[c]
+}
+
+// ClassOf returns the class descriptor of core c, falling back to
+// DefaultClass on homogeneous topologies.
+func (t *Topology) ClassOf(c CoreID) CoreClass {
+	if len(t.Classes) == 0 {
+		return DefaultClass()
+	}
+	return t.Classes[t.ClassIndexOf(c)]
 }
 
 // QuadCoreXeon returns the topology of the paper's experimental platform:
@@ -113,6 +188,76 @@ func (t *Topology) Validate() error {
 	}
 	if t.FrequencyHz <= 0 || t.BusBandwidth <= 0 {
 		return fmt.Errorf("topology %q: non-positive frequency or bandwidth", t.Name)
+	}
+	if err := t.validateClasses(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validateClasses checks the class table and per-core class map of a
+// heterogeneous topology. Homogeneous topologies (no Classes, no
+// CoreClasses) are trivially valid.
+func (t *Topology) validateClasses() error {
+	if len(t.Classes) == 0 {
+		if len(t.CoreClasses) != 0 {
+			return fmt.Errorf("topology %q: CoreClasses set without a Classes table", t.Name)
+		}
+		return nil
+	}
+	names := make(map[string]bool, len(t.Classes))
+	for i, c := range t.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("topology %q: class %d has no name", t.Name, i)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("topology %q: duplicate class name %q", t.Name, c.Name)
+		}
+		names[c.Name] = true
+		if c.FreqMult <= 0 {
+			return fmt.Errorf("topology %q: class %q FreqMult = %g", t.Name, c.Name, c.FreqMult)
+		}
+		if c.CPIMult <= 0 {
+			return fmt.Errorf("topology %q: class %q CPIMult = %g", t.Name, c.Name, c.CPIMult)
+		}
+		if c.SMTWidth < 1 {
+			return fmt.Errorf("topology %q: class %q SMTWidth = %d", t.Name, c.Name, c.SMTWidth)
+		}
+	}
+	if len(t.CoreClasses) != t.NumCores {
+		return fmt.Errorf("topology %q: %d core-class entries for %d cores", t.Name, len(t.CoreClasses), t.NumCores)
+	}
+	for c, ci := range t.CoreClasses {
+		if ci < 0 || ci >= len(t.Classes) {
+			return fmt.Errorf("topology %q: core %d references unknown class %d", t.Name, c, ci)
+		}
+	}
+	return nil
+}
+
+// ValidatePlacement checks that pl is executable on t: at least one thread,
+// no repeated cores, and every core present in an L2 group of the topology.
+// The error is descriptive — callers surface it when a configuration meant
+// for one machine (e.g. the quad-core paper configs) is applied to another.
+// It allocates nothing on the happy path: Env.Validate re-checks the
+// configuration space on every strategy run.
+func (t *Topology) ValidatePlacement(pl Placement) error {
+	if len(pl.Cores) == 0 {
+		return fmt.Errorf("placement %q: no cores", pl.Name)
+	}
+	for i, c := range pl.Cores {
+		if c < 0 || int(c) >= t.NumCores {
+			return fmt.Errorf("placement %q: core %d out of range on %q (%d cores)",
+				pl.Name, c, t.Name, t.NumCores)
+		}
+		for _, prev := range pl.Cores[:i] {
+			if prev == c {
+				return fmt.Errorf("placement %q: core %d listed twice", pl.Name, c)
+			}
+		}
+		if t.GroupOf(c) < 0 {
+			return fmt.Errorf("placement %q: core %d is in no L2 group of %q", pl.Name, c, t.Name)
+		}
 	}
 	return nil
 }
@@ -200,117 +345,29 @@ func ConfigByName(name string) (Placement, bool) {
 	return Placement{}, false
 }
 
-// EnumeratePlacements generates one canonical placement for every distinct
-// (thread count, per-group occupancy multiset) combination on topology t.
-// Two placements that put the same number of threads into L2 groups in the
-// same multiset pattern are performance-equivalent under the machine model,
-// so only one representative is produced. This generalises the paper's
-// {1, 2a, 2b, 3, 4} to arbitrary machines.
-//
-// The result is materialised; sweeps that only need one pass should use
-// EnumeratePlacementsFunc, which streams the same placements in the same
-// order without building the slice.
-func EnumeratePlacements(t *Topology) []Placement {
-	var out []Placement
-	EnumeratePlacementsFunc(t, func(p Placement) bool {
-		out = append(out, p)
-		return true
-	})
-	return out
+// PaperConfigsOn returns the paper's five configurations validated against
+// an arbitrary topology. It fails with a descriptive error when t cannot
+// host them (fewer than four cores) instead of silently assuming the
+// quad-core Xeon.
+func PaperConfigsOn(t *Topology) ([]Placement, error) {
+	cfgs := PaperConfigs()
+	for _, cfg := range cfgs {
+		if err := t.ValidatePlacement(cfg); err != nil {
+			return nil, fmt.Errorf("paper config %q does not fit topology %q: %w", cfg.Name, t.Name, err)
+		}
+	}
+	return cfgs, nil
 }
 
-// EnumeratePlacementsFunc streams the canonical placements of topology t to
-// yield, in the same order EnumeratePlacements returns them (ascending
-// thread count, canonical occupancy order within a count). Enumeration
-// stops early when yield returns false. Each yielded Placement owns its
-// Cores slice, so callers may retain it.
-func EnumeratePlacementsFunc(t *Topology, yield func(Placement) bool) {
-	seen := make(map[string]bool)
-	groupSizes := make([]int, len(t.L2Groups))
-	for i, g := range t.L2Groups {
-		groupSizes[i] = len(g)
+// ConfigByNameOn returns the named paper configuration validated against t,
+// with a descriptive error for unknown names or out-of-range cores.
+func ConfigByNameOn(t *Topology, name string) (Placement, error) {
+	pl, ok := ConfigByName(name)
+	if !ok {
+		return Placement{}, fmt.Errorf("unknown paper config %q (have 1, 2a, 2b, 3, 4)", name)
 	}
-	for n := 1; n <= t.NumCores; n++ {
-		patterns := occupancyPatterns(groupSizes, n)
-		for _, occ := range patterns {
-			key := occKey(occ)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-			cores := coresForOccupancy(t, occ)
-			name := fmt.Sprintf("%d", n)
-			if len(patterns) > 1 {
-				name = fmt.Sprintf("%d:%s", n, key)
-			}
-			if !yield(Placement{Name: name, Cores: cores}) {
-				return
-			}
-		}
+	if err := t.ValidatePlacement(pl); err != nil {
+		return Placement{}, fmt.Errorf("paper config %q does not fit topology %q: %w", name, t.Name, err)
 	}
-}
-
-// occupancyPatterns enumerates the distinct non-increasing occupancy
-// multisets of n threads over groups with the given capacities.
-func occupancyPatterns(groupSizes []int, n int) [][]int {
-	var out [][]int
-	var rec func(rem, maxPer int, acc []int)
-	rec = func(rem, maxPer int, acc []int) {
-		if rem == 0 {
-			occ := make([]int, len(acc))
-			copy(occ, acc)
-			out = append(out, occ)
-			return
-		}
-		if len(acc) == len(groupSizes) {
-			return
-		}
-		cap := groupSizes[len(acc)]
-		if cap > maxPer {
-			cap = maxPer
-		}
-		if cap > rem {
-			cap = rem
-		}
-		for take := cap; take >= 1; take-- {
-			rec(rem-take, take, append(acc, take))
-		}
-		// Also allow skipping remaining groups only via take loop; a zero
-		// in the middle of a non-increasing sequence forces all later
-		// zeros, which is equivalent to stopping, so only allow zero when
-		// nothing remains (handled by rem==0 base case).
-	}
-	// Assume homogeneous group sizes (true for all built-in topologies);
-	// sort capacities descending for canonical patterns.
-	sizes := append([]int(nil), groupSizes...)
-	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
-	rec(n, sizes[0], nil)
-	return out
-}
-
-func occKey(occ []int) string {
-	s := ""
-	for i, o := range occ {
-		if i > 0 {
-			s += "+"
-		}
-		s += fmt.Sprintf("%d", o)
-	}
-	return s
-}
-
-// coresForOccupancy materialises a concrete core list realising the
-// occupancy pattern occ on topology t: occ[i] threads in the i-th group.
-func coresForOccupancy(t *Topology, occ []int) []CoreID {
-	var cores []CoreID
-	for gi, k := range occ {
-		if gi >= len(t.L2Groups) {
-			break
-		}
-		g := t.L2Groups[gi]
-		for i := 0; i < k && i < len(g); i++ {
-			cores = append(cores, g[i])
-		}
-	}
-	return cores
+	return pl, nil
 }
