@@ -1,9 +1,14 @@
 GO ?= go
 
-.PHONY: build test race bench bench-json bench-smoke trend trend-gate fmt vet ci clean
+.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate fmt vet ci clean
 
 build:
 	$(GO) build ./...
+
+## build-cmds: link every cmd/ entry point into bin/ (the binaries the
+## SERVING.md quickstart runs; CI builds them to keep the mains linking).
+build-cmds:
+	$(GO) build -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -42,7 +47,7 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-ci: fmt vet build race
+ci: fmt vet build build-cmds race
 
 clean:
-	rm -rf .bench-baseline
+	rm -rf .bench-baseline bin

@@ -8,9 +8,16 @@
 package actor_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+
+	pubactor "github.com/greenhpc/actor/pkg/actor"
 
 	"github.com/greenhpc/actor/internal/ann"
 	"github.com/greenhpc/actor/internal/core"
@@ -586,4 +593,44 @@ func BenchmarkOMPParallelFor(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServePredict measures online serving throughput through the
+// public facade: one /v1/predict request per iteration against the actord
+// HTTP handler over a fast-trained ANN bank, reporting requests per second
+// alongside ns/op. This is the hot path of the serving subsystem
+// (pkg/actor.Server); the bank's Predict itself is steady-state
+// allocation-free, so the remaining allocations are HTTP + JSON framing.
+func BenchmarkServePredict(b *testing.B) {
+	eng, err := pubactor.New(pubactor.WithFast(), pubactor.WithRepetitions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := eng.Train(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := pubactor.NewServer(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	rates := pubactor.Rates{"IPC": 1.1}
+	for i, name := range bank.Meta().EventSets[0] {
+		rates[name] = 0.001 * float64(i+1)
+	}
+	body, err := json.Marshal(pubactor.PredictRequest{Rates: rates})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("predict = %d: %s", rec.Code, rec.Body)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }

@@ -1,7 +1,8 @@
 // Command actor-live throttles real Go computation: it runs the NPB-style
-// mini-kernels on the omp worker team, wrapping every timestep in the
-// LiveTuner's Begin/End instrumentation, and reports the concurrency level
-// each kernel settles on plus the throughput at each probed level.
+// mini-kernels on the omp worker team through the facade's live path,
+// wrapping every timestep in the live tuner's Begin/End instrumentation,
+// and reports the concurrency level each kernel settles on plus the
+// throughput at each probed level.
 //
 // Usage:
 //
@@ -9,16 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
-	"time"
 
-	"github.com/greenhpc/actor/internal/core"
-	"github.com/greenhpc/actor/internal/kernels"
-	"github.com/greenhpc/actor/internal/omp"
+	"github.com/greenhpc/actor/pkg/actor"
 )
 
 func main() {
@@ -29,48 +27,23 @@ func main() {
 	probes := flag.Int("probes", 2, "probe executions per candidate")
 	flag.Parse()
 
-	var list []kernels.Kernel
-	if *kernel != "" {
-		k, err := kernels.ByName(*kernel, *scale)
-		if err != nil {
-			fatal(err)
-		}
-		list = []kernels.Kernel{k}
-	} else {
-		list = kernels.All(*scale)
-	}
-
 	fmt.Printf("probing 1..%d threads, %d probes each, %d timesteps per kernel\n\n",
 		*maxT, *probes, *steps)
-	for _, k := range list {
-		team := omp.NewTeam(*maxT, false)
-		tuner, err := core.NewLiveTuner(core.DefaultCandidates(*maxT), *probes)
-		if err != nil {
-			fatal(err)
-		}
-		start := time.Now()
-		for it := 0; it < *steps; it++ {
-			team.SetThreads(tuner.Begin())
-			k.Step(team)
-			tuner.End()
-		}
-		elapsed := time.Since(start)
-
+	results, err := actor.RunLive(context.Background(), actor.LiveOptions{
+		Kernel:     *kernel,
+		Scale:      *scale,
+		Steps:      *steps,
+		MaxThreads: *maxT,
+		Probes:     *probes,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range results {
 		fmt.Printf("%-6s locked to %d threads; %d steps in %.1f ms\n",
-			k.Name(), tuner.Choice(), *steps, float64(elapsed.Microseconds())/1000)
-		// Per-candidate probe throughput, best first.
-		pt := tuner.ProbeTimes()
-		type row struct {
-			threads int
-			sec     float64
-		}
-		var rows []row
-		for th, sec := range pt {
-			rows = append(rows, row{th, sec})
-		}
-		sort.Slice(rows, func(i, j int) bool { return rows[i].sec < rows[j].sec })
-		for _, r := range rows {
-			fmt.Printf("         %d threads: %7.2f ms per probe set\n", r.threads, r.sec*1000)
+			r.Kernel, r.Choice, r.Steps, r.ElapsedSec*1000)
+		for _, p := range r.Probes {
+			fmt.Printf("         %d threads: %7.2f ms per probe set\n", p.Threads, p.ProbeSec*1000)
 		}
 	}
 }

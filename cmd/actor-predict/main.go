@@ -1,35 +1,30 @@
-// Command actor-predict loads a trained ACTOR model and predicts the
-// best threading configuration from observed counter rates — the online
+// Command actor-predict loads a trained bank and predicts the best
+// threading configuration from observed counter rates — the online
 // decision step, runnable standalone for inspection and scripting.
 //
 // Rates arrive as JSON on stdin: a map from event mnemonic to per-cycle
 // rate, with "IPC" giving the sampled instructions per cycle:
 //
 //	echo '{"IPC":1.1,"L2_LINES_IN":0.004,"BUS_TRANS_MEM":0.005}' | \
-//	    actor-predict -model models/suite-12events.json
+//	    actor-predict -bank models/bank.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
-	"github.com/greenhpc/actor/internal/core"
-	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/pkg/actor"
 )
 
 func main() {
-	model := flag.String("model", "models/suite-12events.json", "path to a model written by actor-train")
+	f := actor.BindFlags(flag.CommandLine, actor.FlagsBank)
 	flag.Parse()
 
-	data, err := os.ReadFile(*model)
-	if err != nil {
-		fatal(err)
-	}
-	pred, err := core.UnmarshalPredictor(data)
+	bank, err := f.LoadBank()
 	if err != nil {
 		fatal(err)
 	}
@@ -38,45 +33,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var raw map[string]float64
-	if err := json.Unmarshal(in, &raw); err != nil {
+	var rates actor.Rates
+	if err := json.Unmarshal(in, &rates); err != nil {
 		fatal(fmt.Errorf("parsing rates from stdin: %w", err))
 	}
-	rates := pmu.Rates{}
-	for name, v := range raw {
-		if name == "IPC" {
-			rates[pmu.Instructions] = v
-			continue
-		}
-		e, ok := pmu.EventByName(name)
-		if !ok {
-			fatal(fmt.Errorf("unknown event %q", name))
-		}
-		rates[e] = v
-	}
 
-	preds, err := pred.PredictIPC(rates)
+	ranked, err := bank.Predict(context.Background(), rates)
 	if err != nil {
 		fatal(err)
 	}
-	type kv struct {
-		cfg string
-		ipc float64
-	}
-	var list []kv
-	for cfg, ipc := range preds {
-		list = append(list, kv{cfg, ipc})
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i].ipc > list[j].ipc })
 	fmt.Println("predicted IPC by configuration (best first):")
-	for _, e := range list {
-		fmt.Printf("  %-4s %.3f\n", e.cfg, e.ipc)
+	for _, p := range ranked {
+		note := ""
+		if p.Observed {
+			note = " (observed)"
+		}
+		fmt.Printf("  %-4s %.3f%s\n", p.Config, p.IPC, note)
 	}
-	best := list[0]
-	if obs, ok := rates[pmu.Instructions]; ok && obs > best.ipc {
-		fmt.Printf("recommendation: stay at the sampling configuration (observed IPC %.3f)\n", obs)
+	best := ranked[0]
+	if best.Observed {
+		fmt.Printf("recommendation: stay at the sampling configuration (observed IPC %.3f)\n", best.IPC)
 	} else {
-		fmt.Printf("recommendation: throttle to configuration %s\n", best.cfg)
+		fmt.Printf("recommendation: throttle to configuration %s\n", best.Config)
 	}
 }
 

@@ -1,98 +1,74 @@
-// Command actor-train performs ACTOR's offline training phase: it collects
-// counter samples from the benchmark suite on the simulated platform,
-// trains the leave-one-out ANN ensembles (or a single model over the whole
-// suite), and writes them as JSON for cmd/actor-predict and embedding in
-// other tools.
+// Command actor-train performs ACTOR's offline training phase through the
+// public facade: it collects counter samples from the benchmark suite on
+// the simulated platform (the paper's quad-core Xeon, or any -topology
+// descriptor), trains the predictor bank, and writes it in the versioned
+// bank format that cmd/actor-predict and cmd/actord load.
 //
 // Usage:
 //
-//	actor-train [-out DIR] [-seed N] [-folds K] [-fast] [-loo]
+//	actor-train [-bank PATH] [-seed N] [-folds K] [-fast] [-topology D] [-mlr] [-loo]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
-	"github.com/greenhpc/actor/internal/core"
-	"github.com/greenhpc/actor/internal/dataset"
-	"github.com/greenhpc/actor/internal/exp"
-	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/pkg/actor"
 )
 
 func main() {
-	out := flag.String("out", "models", "output directory for model JSON files")
-	seed := flag.Int64("seed", 42, "training seed")
-	folds := flag.Int("folds", 10, "cross-validation folds")
-	fast := flag.Bool("fast", false, "reduced-fidelity training")
-	loo := flag.Bool("loo", false, "write one leave-one-out model per benchmark (default: one model over the full suite)")
+	f := actor.BindFlags(flag.CommandLine)
+	loo := flag.Bool("loo", false, "write one leave-one-out bank per benchmark (default: one bank over the full suite)")
 	flag.Parse()
 
-	opts := exp.DefaultOptions()
-	if *fast {
-		opts = exp.FastOptions()
-	}
-	opts.Seed = *seed
-	opts.Folds = *folds
-
-	suite, err := exp.NewSuite(opts)
+	eng, err := f.Engine()
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+	if dir := filepath.Dir(f.Bank); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
 	}
+	ctx := context.Background()
 
 	if *loo {
-		looModels, err := suite.TrainLeaveOneOut()
+		banks, err := eng.TrainLeaveOneOut(ctx)
 		if err != nil {
 			fatal(err)
 		}
-		for _, b := range suite.Benches {
-			bank := looModels.Banks[b.Name]
-			pred := bank.Predictors()[0].(*core.ANNPredictor)
-			if err := write(*out, "loo-"+b.Name+".json", pred); err != nil {
+		names := make([]string, 0, len(banks))
+		for name := range banks {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		dir := filepath.Dir(f.Bank)
+		for _, name := range names {
+			if err := banks[name].Save(filepath.Join(dir, "loo-"+name+".json")); err != nil {
 				fatal(err)
 			}
 		}
-		fmt.Printf("wrote %d leave-one-out models to %s\n", len(suite.Benches), *out)
+		fmt.Printf("wrote %d leave-one-out banks to %s\n", len(names), dir)
 		return
 	}
 
-	// Whole-suite model: the deployment scenario the paper describes
-	// ("the model would generally be trained a single time ... and
-	// subsequently used for any desired application").
-	collector := dataset.NewCollector(suite.Noisy, suite.Truth)
-	collector.Repetitions = opts.Repetitions
-	suiteSamples, err := collector.CollectSuite(suite.Benches)
+	// Whole-suite bank: the deployment scenario the paper describes ("the
+	// model would generally be trained a single time ... and subsequently
+	// used for any desired application").
+	bank, err := eng.Train(ctx)
 	if err != nil {
 		fatal(err)
 	}
-	var all []dataset.PhaseSample
-	for _, name := range npb.Names() {
-		all = append(all, suiteSamples[name]...)
+	if err := bank.Save(f.Bank); err != nil {
+		fatal(err)
 	}
-	for _, ec := range []int{12, 4, 2} {
-		bank, err := core.TrainANNBank(all, []int{ec}, exp.TargetConfigs, opts.Folds, opts.ANN)
-		if err != nil {
-			fatal(err)
-		}
-		pred := bank.Predictors()[0].(*core.ANNPredictor)
-		name := fmt.Sprintf("suite-%devents.json", ec)
-		if err := write(*out, name, pred); err != nil {
-			fatal(err)
-		}
-	}
-	fmt.Printf("wrote suite models (12/4/2 events, %d-fold ensembles) to %s\n", opts.Folds, *out)
-}
-
-func write(dir, name string, pred *core.ANNPredictor) error {
-	data, err := core.MarshalPredictor(pred)
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+	meta := bank.Meta()
+	fmt.Printf("wrote %s bank (%d event sets, %d configs) to %s\n",
+		meta.Kind, len(meta.EventSets), len(meta.Configs), f.Bank)
 }
 
 func fatal(err error) {

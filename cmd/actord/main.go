@@ -1,0 +1,76 @@
+// Command actord serves a trained predictor bank over HTTP JSON: the
+// online half of the paper run as a long-lived service. It loads the bank
+// at startup, reconstructs the platform the bank was trained for (its
+// topology descriptor rides inside the bank), and serves:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/bank     bank metadata (topology, configs, event sets)
+//	POST /v1/predict  observed rates → ranked configurations
+//	POST /v1/sweep    benchmark phases → per-placement modelled responses
+//
+// Concurrent sweep requests are micro-batched into shared phase-sweep
+// calls over the engine's sharded memo. See docs/SERVING.md for a
+// train → save → serve → curl walkthrough.
+//
+// Usage:
+//
+//	actord [-bank models/bank.json] [-addr :7690]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/greenhpc/actor/pkg/actor"
+)
+
+func main() {
+	f := actor.BindFlags(flag.CommandLine, actor.FlagsBank)
+	addr := flag.String("addr", ":7690", "listen address")
+	flag.Parse()
+
+	bank, err := f.LoadBank()
+	if err != nil {
+		fatal(err)
+	}
+	// The serving platform comes from the bank itself: its topology
+	// descriptor and seed rebuild the machine the models were trained on.
+	eng, err := actor.ForBank(bank)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := actor.NewServer(eng)
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
+
+	meta := bank.Meta()
+	fmt.Fprintf(os.Stderr, "actord: serving %s bank (%d event sets, %d configs, topology %q) on %s\n",
+		meta.Kind, len(meta.EventSets), len(meta.Configs), meta.TopologyName, *addr)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(shCtx)
+	}()
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actord:", err)
+	os.Exit(1)
+}

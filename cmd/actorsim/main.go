@@ -1,7 +1,8 @@
 // Command actorsim reproduces the paper's evaluation on the simulated
 // quad-core Xeon platform — or, with -topology, on any machine described
 // by a compact topology descriptor. Each subcommand regenerates one
-// figure; "all" runs the complete evaluation.
+// figure; "all" runs the complete evaluation. Everything runs through the
+// public pkg/actor facade.
 //
 // Usage:
 //
@@ -14,24 +15,21 @@
 //	-bench B     benchmark for the "phases" subcommand (default SP)
 //	-topology D  run on the machine described by D instead of the
 //	             quad-core Xeon, e.g. "16x2" (32 homogeneous cores) or
-//	             "16x4+32x2:little" (a 128-core big/little part); see
-//	             topology.ParseDesc for the grammar
+//	             "16x4+32x2:little" (a 128-core big/little part)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"github.com/greenhpc/actor/internal/exp"
-	"github.com/greenhpc/actor/internal/topology"
+	"github.com/greenhpc/actor/pkg/actor"
 )
 
 func main() {
-	seed := flag.Int64("seed", 42, "experiment seed")
-	fast := flag.Bool("fast", false, "use reduced-fidelity training options")
+	f := actor.BindFlags(flag.CommandLine, actor.FlagsPlatform)
 	bench := flag.String("bench", "SP", "benchmark for the phases subcommand")
-	topoDesc := flag.String("topology", "", "topology descriptor (default: the paper's quad-core Xeon)")
 	flag.Parse()
 
 	cmd := "all"
@@ -39,143 +37,13 @@ func main() {
 		cmd = flag.Arg(0)
 	}
 
-	opts := exp.DefaultOptions()
-	if *fast {
-		opts = exp.FastOptions()
-	}
-	opts.Seed = *seed
-	if *topoDesc != "" {
-		topo, err := topology.ParseDesc(*topoDesc)
-		if err != nil {
-			fatal(err)
-		}
-		opts.Topology = topo
-	}
-
-	suite, err := exp.NewSuite(opts)
+	eng, err := f.Engine()
 	if err != nil {
 		fatal(err)
 	}
-
-	switch cmd {
-	case "scalability":
-		run1(suite)
-	case "phases":
-		run2(suite, *bench)
-	case "power":
-		run3(suite)
-	case "accuracy":
-		loo := train(suite)
-		run67(suite, loo, true, false)
-	case "ranks":
-		loo := train(suite)
-		run67(suite, loo, false, true)
-	case "throttle":
-		loo := train(suite)
-		run8(suite, loo)
-	case "extensions":
-		runExtensions(suite)
-	case "hetero":
-		h, err := suite.HeteroScaling(nil)
-		if err != nil {
-			fatal(err)
-		}
-		h.Render(os.Stdout)
-	case "generalize":
-		g, err := suite.Generalize(12)
-		if err != nil {
-			fatal(err)
-		}
-		g.Render(os.Stdout)
-	case "robustness":
-		r, err := exp.Robustness(opts, []int64{11, 22, 33, 44, 55})
-		if err != nil {
-			fatal(err)
-		}
-		r.Render(os.Stdout)
-	case "all":
-		run1(suite)
-		run2(suite, *bench)
-		run3(suite)
-		loo := train(suite)
-		run67(suite, loo, true, true)
-		run8(suite, loo)
-		runExtensions(suite)
-	default:
-		fatal(fmt.Errorf("unknown subcommand %q", cmd))
-	}
-}
-
-func train(s *exp.Suite) *exp.LOOModels {
-	fmt.Fprintln(os.Stderr, "training leave-one-out ANN ensembles...")
-	loo, err := s.TrainLeaveOneOut()
-	if err != nil {
+	if err := eng.RunStudy(context.Background(), os.Stdout, cmd, *bench); err != nil {
 		fatal(err)
 	}
-	return loo
-}
-
-func run1(s *exp.Suite) {
-	r, err := s.Fig1ExecutionTimes()
-	if err != nil {
-		fatal(err)
-	}
-	r.Render(os.Stdout)
-}
-
-func run2(s *exp.Suite, bench string) {
-	r, err := s.Fig2PhaseIPC(bench)
-	if err != nil {
-		fatal(err)
-	}
-	r.Render(os.Stdout)
-}
-
-func run3(s *exp.Suite) {
-	r, err := s.Fig3PowerEnergy()
-	if err != nil {
-		fatal(err)
-	}
-	r.Render(os.Stdout)
-}
-
-func run67(s *exp.Suite, loo *exp.LOOModels, show6, show7 bool) {
-	f6, f7, err := s.EvalPrediction(loo)
-	if err != nil {
-		fatal(err)
-	}
-	if show6 {
-		f6.Render(os.Stdout)
-	}
-	if show7 {
-		f7.Render(os.Stdout)
-	}
-}
-
-func run8(s *exp.Suite, loo *exp.LOOModels) {
-	r, err := s.Fig8Throttling(loo)
-	if err != nil {
-		fatal(err)
-	}
-	r.Render(os.Stdout)
-}
-
-func runExtensions(s *exp.Suite) {
-	dv, err := s.DVFSStudy()
-	if err != nil {
-		fatal(err)
-	}
-	dv.Render(os.Stdout)
-	fs, err := s.FutureScaling()
-	if err != nil {
-		fatal(err)
-	}
-	fs.Render(os.Stdout)
-	cs, err := s.CoScheduling()
-	if err != nil {
-		fatal(err)
-	}
-	cs.Render(os.Stdout)
 }
 
 func fatal(err error) {

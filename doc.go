@@ -3,9 +3,15 @@
 // prediction, after Curtis-Maury et al., "Identifying Energy-Efficient
 // Concurrency Levels Using Machine Learning" (GreenCom 2007).
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory), the runnable entry points under cmd/ and examples/, and the
-// per-figure benchmark harness in bench_test.go. Run
+// The public API is the pkg/actor facade: actor.Engine wraps the simulated
+// platform with context-aware Train / Predict / BestConfig / Sweep methods
+// under functional options (actor.WithTopology("16x4+32x2:little"),
+// actor.WithFast(), actor.WithSeed(...)), and actor.Bank carries trained
+// predictors through a versioned, self-describing serialization format
+// whose predictions are bit-identical across a save/load round trip. The
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory); every runnable entry point under cmd/ is a thin wrapper over
+// the facade. Run
 //
 //	go run ./cmd/actorsim all
 //
@@ -16,13 +22,20 @@
 //	go run ./cmd/actorsim -topology "16x4+32x2:little" -fast scalability
 //	go run ./cmd/actorsim -fast hetero
 //
-// Topology descriptors follow the grammar of internal/topology.ParseDesc —
+// To serve a trained bank behind an HTTP JSON API (ranked configuration
+// predictions and micro-batched phase sweeps), train with cmd/actor-train
+// and serve with cmd/actord — see docs/SERVING.md for the quickstart:
+//
+//	go run ./cmd/actor-train -fast -bank models/bank.json
+//	go run ./cmd/actord -bank models/bank.json
+//
+// Topology descriptors follow the grammar of topology.ParseDesc —
 // "count x groupSize [:class]" terms joined by "+", where a class is
 // "big", "little", or an inline "name(freqMult,cpiMult[,smtWidth])"
 // definition — and build the same heterogeneous descriptors the
 // topology.NewBuilder API assembles programmatically. Strategy replays,
-// oracle searches and figure drivers all execute on the batched
-// phase-sweep engine (machine.RunPhaseSweep), whose per-(class, load)
-// vectorised solve is bit-identical to the per-thread model on
-// homogeneous machines.
+// oracle searches, figure drivers and served sweeps all execute on the
+// batched phase-sweep engine (machine.RunPhaseSweep), whose
+// per-(class, load) vectorised solve is bit-identical to the per-thread
+// model on homogeneous machines.
 package actor

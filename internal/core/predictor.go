@@ -71,6 +71,11 @@ func NewANNPredictor(events []pmu.Event, targets map[string]*ann.Ensemble) (*ANN
 // Events returns the feature event list (read-only; not a copy).
 func (p *ANNPredictor) Events() []pmu.Event { return p.events }
 
+// Targets returns the per-configuration ensembles (read-only; not a copy).
+// Serializers walk it to flatten the bank; mutating it would corrupt the
+// live predictor.
+func (p *ANNPredictor) Targets() map[string]*ann.Ensemble { return p.targets }
+
 // NumEvents returns the feature event count.
 func (p *ANNPredictor) NumEvents() int { return len(p.events) }
 
@@ -115,6 +120,10 @@ func NewMLRPredictor(events []pmu.Event, targets map[string]*mlr.Model) (*MLRPre
 
 // Events returns the feature event list (read-only; not a copy).
 func (p *MLRPredictor) Events() []pmu.Event { return p.events }
+
+// Targets returns the per-configuration linear models (read-only; not a
+// copy).
+func (p *MLRPredictor) Targets() map[string]*mlr.Model { return p.targets }
 
 // NumEvents returns the feature event count.
 func (p *MLRPredictor) NumEvents() int { return len(p.events) }

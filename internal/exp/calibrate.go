@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/power"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// RunCalibration prints the suite's modelled scaling, power and energy
+// behaviour against every quantitative target quoted in the paper — the
+// tuning harness used to calibrate the npb profiles (formerly the body of
+// cmd/calibrate). The report runs on the paper's quad-core Xeon platform.
+func RunCalibration(w io.Writer) error {
+	topo := topology.QuadCoreXeon()
+	m, err := machine.New(topo)
+	if err != nil {
+		return err
+	}
+	pm := power.Default()
+	cfgs, err := topology.PaperConfigsOn(topo)
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		time, pw, en, util [5]float64
+	}
+	rows := map[string]*row{}
+
+	fmt.Fprintf(w, "%-6s %8s | %7s %7s %7s %7s %7s | bus util 1/2a/2b/3/4\n", "bench", "T1(s)", "1", "2a", "2b", "3", "4")
+	for _, b := range npb.All() {
+		r := &row{}
+		for ci, cfg := range cfgs {
+			var acc power.Accumulator
+			var utilT float64
+			for pi := range b.Phases {
+				res := m.RunPhase(&b.Phases[pi], b.Idiosyncrasy, cfg)
+				acc.Add(res.TimeSec*float64(b.Iterations), pm.Power(res.Activity))
+				utilT += res.Activity.BusUtilization * res.TimeSec * float64(b.Iterations)
+			}
+			r.time[ci] = acc.TimeSec
+			r.pw[ci] = acc.AvgPower()
+			r.en[ci] = acc.EnergyJ
+			r.util[ci] = utilT / acc.TimeSec
+		}
+		rows[b.Name] = r
+		fmt.Fprintf(w, "%-6s %8.1f | %7.2f %7.2f %7.2f %7.2f %7.2f | %.2f %.2f %.2f %.2f %.2f\n", b.Name, r.time[0],
+			r.time[0]/r.time[0], r.time[0]/r.time[1], r.time[0]/r.time[2], r.time[0]/r.time[3], r.time[0]/r.time[4],
+			r.util[0], r.util[1], r.util[2], r.util[3], r.util[4])
+	}
+
+	fmt.Fprintln(w, "\npower (W) and energy ratio (cfg4/cfg1):")
+	var sumPwRatio, sumEnRatio float64
+	for _, b := range npb.All() {
+		r := rows[b.Name]
+		fmt.Fprintf(w, "%-6s P1=%6.1f P2a=%6.1f P2b=%6.1f P3=%6.1f P4=%6.1f  P4/P1=%5.3f  E4/E1=%5.3f\n",
+			b.Name, r.pw[0], r.pw[1], r.pw[2], r.pw[3], r.pw[4], r.pw[4]/r.pw[0], r.en[4]/r.en[0])
+		sumPwRatio += r.pw[4] / r.pw[0]
+		sumEnRatio += r.en[4] / r.en[0]
+	}
+	fmt.Fprintf(w, "suite avg: P4/P1=%5.3f (paper 1.142)  E4/E1=%5.3f (paper 0.993)\n", sumPwRatio/8, sumEnRatio/8)
+
+	// Paper targets.
+	fmt.Fprintln(w, "\ntargets:")
+	bt, cg, mg, is := rows["BT"], rows["CG"], rows["MG"], rows["IS"]
+	ft, luhp, lu, sp := rows["FT"], rows["LU-HP"], rows["LU"], rows["SP"]
+	fmt.Fprintf(w, "BT  speedup4 = %.2f (paper 2.69), P4/P1 = %.2f (paper 1.31), E1/E4 = %.2f (paper 2.04)\n",
+		bt.time[0]/bt.time[4], bt.pw[4]/bt.pw[0], bt.en[0]/bt.en[4])
+	fmt.Fprintf(w, "scalable class avg speedup4 = %.2f (paper 2.37)\n",
+		(bt.time[0]/bt.time[4]+ft.time[0]/ft.time[4]+luhp.time[0]/luhp.time[4])/3)
+	fmt.Fprintf(w, "CG  speedup4 = %.2f speedup2b = %.2f (paper both 1.95)\n",
+		cg.time[0]/cg.time[4], cg.time[0]/cg.time[2])
+	imp := func(r *row) float64 { return r.time[2]/r.time[4] - 1 }
+	fmt.Fprintf(w, "flat class 4-vs-2b improvement = %.1f%% %.1f%% %.1f%% avg %.1f%% (paper avg 7.0%%)\n",
+		100*imp(cg), 100*imp(lu), 100*imp(sp), 100*(imp(cg)+imp(lu)+imp(sp))/3)
+	fmt.Fprintf(w, "MG  speedup2b = %.2f (paper 1.29), speedup4 = %.2f (paper 1.11)\n",
+		mg.time[0]/mg.time[2], mg.time[0]/mg.time[4])
+	fmt.Fprintf(w, "IS  speedup2b = %.2f (paper 1.228), speedup4 = %.2f (paper 0.60), T2a/T2b = %.2f (paper 2.04), T4/T2b = %.2f (paper 2.04)\n",
+		is.time[0]/is.time[2], is.time[0]/is.time[4], is.time[1]/is.time[2], is.time[4]/is.time[2])
+
+	// SP per-phase IPC spread (Fig 2).
+	fmt.Fprintln(w, "\nSP phase IPCs (rows: phase; cols: 1 2a 2b 3 4):")
+	spb, err := npb.ByName("SP")
+	if err != nil {
+		return err
+	}
+	minMax, maxMax := 1e9, 0.0
+	for pi := range spb.Phases {
+		fmt.Fprintf(w, "%-12s", spb.Phases[pi].Name)
+		best := 0.0
+		for _, cfg := range cfgs {
+			res := m.RunPhase(&spb.Phases[pi], spb.Idiosyncrasy, cfg)
+			fmt.Fprintf(w, " %5.2f", res.AggIPC)
+			if res.AggIPC > best {
+				best = res.AggIPC
+			}
+		}
+		fmt.Fprintln(w)
+		if best < minMax {
+			minMax = best
+		}
+		if best > maxMax {
+			maxMax = best
+		}
+	}
+	fmt.Fprintf(w, "SP max-IPC range: %.2f .. %.2f (paper 0.32 .. 4.64)\n", minMax, maxMax)
+	return nil
+}

@@ -68,6 +68,16 @@ func Fit(samples []ann.Sample, ridge float64) (*Model, error) {
 	return &Model{Coef: coef}, nil
 }
 
+// NewModel constructs a model from flat coefficients [b0, b1, ..., bd],
+// validating that at least the intercept is present. The slice is copied —
+// deserializers hand in buffers they may reuse.
+func NewModel(coef []float64) (*Model, error) {
+	if len(coef) < 1 {
+		return nil, errors.New("mlr: model needs at least an intercept coefficient")
+	}
+	return &Model{Coef: append([]float64(nil), coef...)}, nil
+}
+
 // Predict evaluates the model on x; panics on dimension mismatch.
 func (m *Model) Predict(x []float64) float64 {
 	if len(x) != len(m.Coef)-1 {

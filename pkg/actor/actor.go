@@ -1,0 +1,77 @@
+// Package actor is the public facade of the ACTOR reproduction: one stable
+// import path over the internal evaluation, training, sweep and topology
+// engines.
+//
+// The two central types are Engine and Bank. An Engine owns a simulated
+// platform (the paper's quad-core Xeon by default, or any machine described
+// by a compact topology descriptor) and exposes the pipeline stages as
+// context-aware methods:
+//
+//	eng, err := actor.New(actor.WithTopology("16x4+32x2:little"), actor.WithFast())
+//	bank, err := eng.Train(ctx)                  // offline: counter collection + model training
+//	best, err := bank.BestConfig(ctx, rates)     // online: ranked configuration prediction
+//	sweeps, err := eng.Sweep(ctx, actor.SweepRequest{Bench: "SP"})
+//
+// A Bank is a trained predictor bank plus the metadata needed to use it
+// anywhere: the topology descriptor it was trained for, the configuration
+// space, and the feature event sets. Banks round-trip through a versioned,
+// self-describing serialization format (Bank.Save / LoadBank) whose
+// predictions are bit-identical across the trip, so a bank trained in one
+// process can be served by cmd/actord in another.
+//
+// Every cmd/ entry point (actor-train, actor-predict, actorsim, actor-live,
+// calibrate, actord) is a thin wrapper over this package.
+package actor
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+// Rates are observed per-cycle hardware event rates keyed by PAPI-style
+// mnemonic (see the /v1/bank endpoint or Bank.Meta for the event names a
+// bank consumes). The special key "IPC" carries the instructions-per-cycle
+// rate sampled at the maximal-concurrency configuration.
+type Rates map[string]float64
+
+// toPMU resolves mnemonic keys into the internal event space.
+func (r Rates) toPMU() (pmu.Rates, error) {
+	out := make(pmu.Rates, len(r))
+	for name, v := range r {
+		if name == "IPC" {
+			out[pmu.Instructions] = v
+			continue
+		}
+		e, ok := pmu.EventByName(name)
+		if !ok {
+			return nil, fmt.Errorf("actor: unknown event %q (IPC plus the PAPI mnemonics of the bank's event sets are accepted)", name)
+		}
+		out[e] = v
+	}
+	return out, nil
+}
+
+// Prediction is one configuration's predicted (or, for the sampling
+// configuration, observed) aggregate IPC.
+type Prediction struct {
+	// Config is the configuration name within the bank's space.
+	Config string `json:"config"`
+	// IPC is the predicted aggregate instructions per cycle.
+	IPC float64 `json:"ipc"`
+	// Observed marks the sampling configuration's entry, whose IPC was
+	// measured directly rather than predicted.
+	Observed bool `json:"observed,omitempty"`
+}
+
+// rankPredictions orders predictions by descending IPC, breaking ties by
+// configuration name so the ranking is deterministic.
+func rankPredictions(ps []Prediction) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].IPC != ps[j].IPC {
+			return ps[i].IPC > ps[j].IPC
+		}
+		return ps[i].Config < ps[j].Config
+	})
+}

@@ -1,0 +1,167 @@
+package actor
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"github.com/greenhpc/actor/internal/core"
+	"github.com/greenhpc/actor/internal/pmu"
+)
+
+// Meta is the self-describing header of a bank: everything a serving
+// process needs to use the predictors correctly without out-of-band
+// knowledge.
+type Meta struct {
+	// Version is the serialization format version (BankVersion when the
+	// bank was produced by this build).
+	Version int `json:"version"`
+	// Kind is the model family ("ann" or "mlr").
+	Kind Kind `json:"kind"`
+	// Topology is the compact descriptor of the machine the bank was
+	// trained for ("" means the paper's quad-core Xeon).
+	Topology string `json:"topology,omitempty"`
+	// TopologyName and Cores describe the machine for humans.
+	TopologyName string `json:"topology_name,omitempty"`
+	Cores        int    `json:"cores,omitempty"`
+	// Seed is the training seed.
+	Seed int64 `json:"seed"`
+	// Folds is the cross-validation ensemble size (0 for MLR banks).
+	Folds int `json:"folds,omitempty"`
+	// Configs is the configuration space, in canonical order; the last
+	// entry is the maximal-concurrency sampling configuration.
+	Configs []string `json:"configs"`
+	// SampleConfig is the configuration counters are sampled at.
+	SampleConfig string `json:"sample_config"`
+	// EventSets lists each predictor's feature events (richest first).
+	EventSets [][]string `json:"event_sets,omitempty"`
+}
+
+// Bank is a trained predictor bank plus its platform metadata. Banks are
+// safe for concurrent use: prediction allocates only its result slice.
+type Bank struct {
+	bank *core.Bank
+	// preds is the bank's predictor list (richest first), cached here so
+	// the per-request selection never copies it.
+	preds []core.Predictor
+	meta  Meta
+}
+
+// newBank wraps a trained core bank, deriving the per-predictor event sets.
+func newBank(cb *core.Bank, meta Meta) *Bank {
+	preds := cb.Predictors()
+	for _, p := range preds {
+		names := make([]string, 0, p.NumEvents())
+		for _, e := range p.Events() {
+			names = append(names, e.String())
+		}
+		meta.EventSets = append(meta.EventSets, names)
+	}
+	return &Bank{bank: cb, preds: preds, meta: meta}
+}
+
+// Meta returns the bank's self-describing header.
+func (b *Bank) Meta() Meta { return b.meta }
+
+// Select returns the feature event names of the richest predictor whose
+// counter rotation fits within maxRounds sampling timesteps on a PMU that
+// can program width events simultaneously — the paper's reduced-event-set
+// fallback, exposed so callers can plan their sampling.
+func (b *Bank) Select(maxRounds, width int) []string {
+	p := b.bank.Select(maxRounds, width)
+	names := make([]string, 0, p.NumEvents())
+	for _, e := range p.Events() {
+		names = append(names, e.String())
+	}
+	return names
+}
+
+// Predict maps observed rates to ranked configuration predictions, best
+// first. The richest predictor whose feature events are all present in
+// rates is used — a client that sampled only a reduced event set (see
+// Select) is served by the matching reduced predictor, the paper's
+// short-iteration fallback. When no predictor is fully covered the richest
+// one runs with absent events reading zero (the model's documented
+// treatment of unmeasured features). Every target configuration gets a
+// predicted IPC, and when rates carry an "IPC" entry the sampling
+// configuration joins the ranking with its directly observed IPC (marked
+// Observed) — exactly the comparison the runtime's decision step makes.
+func (b *Bank) Predict(ctx context.Context, rates Rates) ([]Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pr, err := rates.toPMU()
+	if err != nil {
+		return nil, err
+	}
+	pred := b.predictorFor(pr)
+	byConfig, err := pred.PredictIPC(pr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Prediction, 0, len(byConfig)+1)
+	for name, ipc := range byConfig {
+		out = append(out, Prediction{Config: name, IPC: ipc})
+	}
+	if obs, ok := pr[pmu.Instructions]; ok {
+		out = append(out, Prediction{Config: b.meta.SampleConfig, IPC: obs, Observed: true})
+	}
+	rankPredictions(out)
+	return out, nil
+}
+
+// predictorFor returns the richest predictor whose every feature event is
+// present in pr, falling back to the richest predictor overall. Predictors
+// are ordered by descending event count, so the first covered one wins.
+func (b *Bank) predictorFor(pr pmu.Rates) core.Predictor {
+	for _, p := range b.preds {
+		covered := true
+		for _, e := range p.Events() {
+			if _, ok := pr[e]; !ok {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			return p
+		}
+	}
+	return b.preds[0]
+}
+
+// BestConfig returns the single best configuration for the observed rates:
+// the top entry of Predict's ranking.
+func (b *Bank) BestConfig(ctx context.Context, rates Rates) (Prediction, error) {
+	ranked, err := b.Predict(ctx, rates)
+	if err != nil {
+		return Prediction{}, err
+	}
+	if len(ranked) == 0 {
+		return Prediction{}, fmt.Errorf("actor: bank produced no predictions")
+	}
+	return ranked[0], nil
+}
+
+// Save writes the bank to path in the versioned serialization format.
+func (b *Bank) Save(path string) error {
+	data, err := b.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBank reads a bank written by Save, rejecting files that are not
+// banks, banks of unsupported versions, and structurally corrupt banks
+// with descriptive errors.
+func LoadBank(path string) (*Bank, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b, err := DecodeBank(data)
+	if err != nil {
+		return nil, fmt.Errorf("actor: loading bank %s: %w", path, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,268 @@
+package actor_test
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/greenhpc/actor/pkg/actor"
+)
+
+// testRates builds a rate map covering the bank's richest event set plus
+// the observed IPC, with distinct values per event.
+func testRates(b *actor.Bank, ipc float64) actor.Rates {
+	r := actor.Rates{"IPC": ipc}
+	for i, name := range b.Meta().EventSets[0] {
+		r[name] = 0.001 * float64(i+1)
+	}
+	return r
+}
+
+// TestBankRoundTripANN trains a small ANN bank on the paper platform and
+// checks that saving and loading it produces bit-identical predictions.
+func TestBankRoundTripANN(t *testing.T) {
+	eng, err := actor.New(
+		actor.WithFast(),
+		actor.WithFolds(3),
+		actor.WithRepetitions(1),
+		actor.WithMaxEpochs(8),
+		actor.WithEventCounts(4, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bank, err := eng.Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bank.json")
+	if err := bank.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := actor.LoadBank(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded.Meta(), bank.Meta()) {
+		t.Errorf("metadata changed across the round trip:\nsaved:  %+v\nloaded: %+v", bank.Meta(), loaded.Meta())
+	}
+	for _, ipc := range []float64{0.4, 1.1, 2.7} {
+		rates := testRates(bank, ipc)
+		want, err := bank.Predict(ctx, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Predict(ctx, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("predictions changed across the round trip at IPC %g:\nsaved:  %+v\nloaded: %+v", ipc, want, got)
+		}
+	}
+	// A second encode of the loaded bank must reproduce the bytes exactly.
+	a, err := bank.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("re-encoding a loaded bank produced different bytes")
+	}
+}
+
+// TestPredictorSelectionByCoverage checks that rates covering only a
+// reduced event set are served by the matching reduced predictor — the
+// paper's short-iteration fallback — rather than the richest predictor
+// with zero-filled features.
+func TestPredictorSelectionByCoverage(t *testing.T) {
+	eng, err := actor.New(
+		actor.WithFast(),
+		actor.WithFolds(3),
+		actor.WithRepetitions(1),
+		actor.WithMaxEpochs(8),
+		actor.WithEventCounts(4, 2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bank, err := eng.Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := bank.Meta().EventSets
+	if len(sets) != 2 || len(sets[0]) != 4 || len(sets[1]) != 2 {
+		t.Fatalf("event sets = %v, want a 4-set and a 2-set", sets)
+	}
+	// Rates covering exactly the reduced set…
+	reduced := actor.Rates{"IPC": 1.0}
+	for i, name := range sets[1] {
+		reduced[name] = 0.002 * float64(i+1)
+	}
+	fromReduced, err := bank.Predict(ctx, reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …versus the same values zero-padded to cover the rich set, which
+	// forces the rich predictor. Different models ⇒ different outputs; if
+	// selection ignored coverage the two calls would be identical.
+	padded := actor.Rates{"IPC": 1.0}
+	for _, name := range sets[0] {
+		padded[name] = reduced[name] // absent reduced events read zero
+	}
+	fromRich, err := bank.Predict(ctx, padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(fromReduced, fromRich) {
+		t.Error("reduced-set rates were served by the rich predictor (outputs identical)")
+	}
+	if got := bank.Select(1, 2); !reflect.DeepEqual(got, sets[1]) {
+		t.Errorf("Select(1, 2) = %v, want the 2-event set %v", got, sets[1])
+	}
+}
+
+// TestBankRoundTripHeteroMLR exercises the round trip on a heterogeneous
+// ParseDesc topology with the MLR model family.
+func TestBankRoundTripHeteroMLR(t *testing.T) {
+	eng, err := actor.New(
+		actor.WithTopology("1x2+1x2:little"),
+		actor.WithFast(),
+		actor.WithRepetitions(1),
+		actor.WithMLR(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bank, err := eng.Train(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bank.Meta().Topology; got != "1x2+1x2:little" {
+		t.Fatalf("bank topology descriptor = %q, want the training descriptor", got)
+	}
+	if got := bank.Meta().Kind; got != actor.KindMLR {
+		t.Fatalf("bank kind = %q, want %q", got, actor.KindMLR)
+	}
+	data, err := bank.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := actor.DecodeBank(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := testRates(bank, 0.9)
+	want, err := bank.Predict(ctx, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(ctx, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hetero predictions changed across the round trip:\nsaved:  %+v\nloaded: %+v", want, got)
+	}
+	// The loaded bank rebuilds a serving engine on its own topology.
+	served, err := actor.ForBank(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.TopologyDesc() != "1x2+1x2:little" {
+		t.Errorf("ForBank engine topology = %q", served.TopologyDesc())
+	}
+}
+
+// TestTrainDeterministic checks that two engines built from the same seed
+// produce byte-identical banks — the property that makes saved banks
+// reproducible artifacts.
+func TestTrainDeterministic(t *testing.T) {
+	encode := func() []byte {
+		eng, err := actor.New(actor.WithFast(), actor.WithRepetitions(1), actor.WithMLR(), actor.WithSeed(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bank, err := eng.Train(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := bank.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if !bytes.Equal(encode(), encode()) {
+		t.Error("two trainings under the same seed produced different banks")
+	}
+}
+
+// TestDecodeBankRejects checks that malformed, foreign and future-versioned
+// payloads are rejected with descriptive errors.
+func TestDecodeBankRejects(t *testing.T) {
+	cases := []struct {
+		name, data, want string
+	}{
+		{"not JSON", `weights go here`, "not a bank file"},
+		{"wrong magic", `{"format":"parquet","version":1}`, "not an ACTOR bank"},
+		{"missing version", `{"format":"actor-bank"}`, "no valid format version"},
+		{"future version", `{"format":"actor-bank","version":99}`, "newer than the supported version"},
+		{"bad topology", `{"format":"actor-bank","version":1,"topology":{"desc":"not-a-desc"}}`, "topology"},
+		{"no configs", `{"format":"actor-bank","version":1}`, "no configurations"},
+		{"sample outside space", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"9"}`, "not in its configuration space"},
+		{"no predictors", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"4"}`, "no predictors"},
+		{"unknown event", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"4",
+			"predictors":[{"events":["NO_SUCH_EVENT"],"mlr":{"1":[0.1,0.2]}}]}`, "unknown event"},
+		{"empty predictor", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"4",
+			"predictors":[{"events":["L2_LINES_IN"]}]}`, "holds no models"},
+		{"bad net shape", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"4",
+			"predictors":[{"events":["L2_LINES_IN"],"ann":{"1":{"scaler":{"mean":[0,0],"std":[1,1],"ymin":0,"ymax":1},
+			"nets":[{"sizes":[2,3,1],"weights":[[0.1],[0.2]]}]}}}]}`, "weights"},
+		{"scaler/net dim mismatch", `{"format":"actor-bank","version":1,"configs":["1","4"],"sample_config":"4",
+			"predictors":[{"events":["L2_LINES_IN"],"ann":{"1":{"scaler":{"mean":[0,0,0],"std":[1,1,1],"ymin":0,"ymax":1},
+			"nets":[{"sizes":[2,1],"weights":[[0.1,0.2,0.3]]}]}}}]}`, "does not match the scaler"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := actor.DecodeBank([]byte(tc.data))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestAttachBankMismatch checks that a bank cannot be attached to an engine
+// modelling a different machine.
+func TestAttachBankMismatch(t *testing.T) {
+	hetero, err := actor.New(actor.WithTopology("1x2+1x2:little"), actor.WithFast(), actor.WithRepetitions(1), actor.WithMLR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := hetero.Train(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := actor.New(actor.WithFast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := paper.AttachBank(bank); err == nil {
+		t.Fatal("attached a hetero bank to the paper-platform engine")
+	} else if !strings.Contains(err.Error(), "topology") {
+		t.Errorf("mismatch error %q does not mention the topology", err)
+	}
+}

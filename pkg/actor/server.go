@@ -1,0 +1,276 @@
+package actor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Server serves a trained bank over HTTP JSON — the online half of the
+// paper run as a service. Endpoints:
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/bank     bank metadata (topology, configs, event sets)
+//	POST /v1/predict  observed rates (+ optional phase label) → ranked configs
+//	POST /v1/sweep    benchmark (+ optional phases) → per-placement responses
+//
+// Predictions run directly on the bank (steady-state allocation-free).
+// Sweeps funnel through a single dispatcher goroutine that micro-batches
+// concurrent requests: all requests queued at dispatch time are drained,
+// deduplicated, executed back-to-back over the engine's shared sharded
+// phase memo (repeat sweeps are memo hits), and fanned back out. Create
+// with NewServer; Close releases the dispatcher.
+type Server struct {
+	eng  *Engine
+	bank *Bank
+	mux  *http.ServeMux
+
+	jobs chan *sweepJob
+	stop chan struct{}
+
+	closeOnce sync.Once
+}
+
+type sweepJob struct {
+	req SweepRequest
+	// ctx is the requester's context: the dispatcher skips a batch group
+	// when every requester has already gone away.
+	ctx   context.Context
+	reply chan sweepReply
+}
+
+type sweepReply struct {
+	sweeps []PhaseSweep
+	err    error
+}
+
+// NewServer builds a Server over the engine's attached bank. The engine
+// must have a bank (Train, LoadBank via ForBank, or AttachBank).
+func NewServer(eng *Engine) (*Server, error) {
+	bank := eng.Bank()
+	if bank == nil {
+		return nil, fmt.Errorf("actor: serving needs a bank attached to the engine")
+	}
+	s := &Server{
+		eng:  eng,
+		bank: bank,
+		mux:  http.NewServeMux(),
+		jobs: make(chan *sweepJob, 64),
+		stop: make(chan struct{}),
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v1/bank", s.handleBank)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	go s.dispatch()
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the sweep dispatcher. In-flight requests receive errors;
+// the Server must not be used afterwards.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+}
+
+// dispatch is the sweep micro-batcher: it blocks for one job, greedily
+// drains everything else already queued, deduplicates identical requests,
+// executes each distinct sweep once and replies to every waiter.
+func (s *Server) dispatch() {
+	for {
+		var first *sweepJob
+		select {
+		case first = <-s.jobs:
+		case <-s.stop:
+			return
+		}
+		batch := []*sweepJob{first}
+	drain:
+		for {
+			select {
+			case j := <-s.jobs:
+				batch = append(batch, j)
+			default:
+				break drain
+			}
+		}
+		// Group identical requests so one RunPhaseSweep serves them all.
+		type group struct {
+			req  SweepRequest
+			jobs []*sweepJob
+		}
+		var order []string
+		groups := make(map[string]*group, len(batch))
+		for _, j := range batch {
+			key := j.req.Bench + "\x00" + strings.Join(j.req.Phases, "\x00")
+			g, ok := groups[key]
+			if !ok {
+				g = &group{req: j.req}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.jobs = append(g.jobs, j)
+		}
+		for _, key := range order {
+			g := groups[key]
+			// Don't burn the single dispatcher on work nobody will read:
+			// skip the group when every requester has disconnected. The
+			// sweep itself runs on a background context — a batched result
+			// outlives any one requester — so one client bailing mid-sweep
+			// cannot cancel the others' answer.
+			live := false
+			for _, j := range g.jobs {
+				if j.ctx.Err() == nil {
+					live = true
+					break
+				}
+			}
+			rep := sweepReply{err: context.Canceled}
+			if live {
+				rep.sweeps, rep.err = s.eng.Sweep(context.Background(), g.req)
+			}
+			for _, j := range g.jobs {
+				j.reply <- rep // buffered: never blocks the dispatcher
+			}
+		}
+	}
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// BankInfo is the /v1/bank response: the bank header plus the serving
+// platform's identity.
+type BankInfo struct {
+	Meta     Meta     `json:"meta"`
+	Benches  []string `json:"benches"`
+	Topology string   `json:"topology_desc,omitempty"`
+}
+
+func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, BankInfo{
+		Meta:     s.bank.Meta(),
+		Benches:  s.eng.BenchNames(),
+		Topology: s.eng.TopologyDesc(),
+	})
+}
+
+// PredictRequest is the /v1/predict payload: the observed per-cycle event
+// rates ("IPC" plus the bank's PAPI mnemonics) and an optional phase label
+// echoed back for correlation.
+type PredictRequest struct {
+	Phase string `json:"phase,omitempty"`
+	Rates Rates  `json:"rates"`
+}
+
+// PredictResponse is the ranked prediction for one request.
+type PredictResponse struct {
+	Phase       string       `json:"phase,omitempty"`
+	Best        string       `json:"best"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	if len(req.Rates) == 0 {
+		writeError(w, http.StatusBadRequest, `bad payload: "rates" is required and must be non-empty`)
+		return
+	}
+	ranked, err := s.bank.Predict(r.Context(), req.Rates)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Phase:       req.Phase,
+		Best:        ranked[0].Config,
+		Predictions: ranked,
+	})
+}
+
+// SweepResponse is the /v1/sweep reply.
+type SweepResponse struct {
+	Sweeps []PhaseSweep `json:"sweeps"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad payload: %v", err)
+		return
+	}
+	if req.Bench == "" {
+		writeError(w, http.StatusBadRequest, `bad payload: "bench" is required`)
+		return
+	}
+	job := &sweepJob{req: req, ctx: r.Context(), reply: make(chan sweepReply, 1)}
+	select {
+	case s.jobs <- job:
+	case <-s.stop:
+		writeError(w, http.StatusServiceUnavailable, "server closing")
+		return
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	}
+	select {
+	case rep := <-job.reply:
+		if rep.err != nil {
+			writeError(w, http.StatusBadRequest, "%v", rep.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SweepResponse{Sweeps: rep.sweeps})
+	case <-s.stop:
+		writeError(w, http.StatusServiceUnavailable, "server closing")
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	}
+}
