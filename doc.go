@@ -38,4 +38,16 @@
 // batched phase-sweep engine (machine.RunPhaseSweep), whose
 // per-(class, load) vectorised solve is bit-identical to the per-thread
 // model on homogeneous machines.
+//
+// On amd64 machines with AVX2 the hot numeric kernels — the ANN trainer's
+// dense forward, backprop delta and SGD update, and the sweep engine's
+// fixed-point lane step — run as hand-written vector assembly selected at
+// startup by internal/simd's CPUID probe. Every vector kernel vectorizes
+// across independent outputs only (batch samples, units, weight indices,
+// solve lanes) and performs, per output, the scalar reference's exact
+// IEEE-754 operation sequence, so results are bit-identical regardless of
+// which implementation ran; fuzzed tests enforce that equality to the
+// last bit. The pure-Go reference is always built: set ACTOR_SIMD=off (or
+// build with -tags actor_noasm) to force it, and see PERFORMANCE.md for
+// the dispatch details and measured effect.
 package actor

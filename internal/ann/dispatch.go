@@ -1,0 +1,26 @@
+// Kernel dispatch: the trainer's hot kernels are function variables bound
+// once at init. The pure-Go implementations in gemm.go are the always-built
+// reference and the default binding; dispatch_amd64.go rebinds them to the
+// AVX2 implementations when internal/simd reports the machine supports it
+// and ACTOR_SIMD does not opt out.
+//
+// Every vector implementation is lane-wise — it vectorizes across
+// independent outputs (batch samples, units, weight indices) and performs,
+// per output, exactly the operation sequence of the scalar reference — so
+// the binding choice never changes a single output bit. gemm_simd_test.go
+// fuzzes that equivalence across odd shapes.
+package ann
+
+var (
+	denseForward = denseForwardScalar
+	hiddenDelta  = hiddenDeltaScalar
+	sgdStep      = sgdStepScalar
+
+	// kernelVariant names the bound implementation ("scalar" or "avx2")
+	// for benchmark metadata and diagnostics.
+	kernelVariant = "scalar"
+)
+
+// KernelVariant reports which kernel implementation this process bound at
+// startup: "avx2" when the vector kernels are active, "scalar" otherwise.
+func KernelVariant() string { return kernelVariant }

@@ -46,7 +46,7 @@ func fastExp(x float64) float64 {
 //
 // where act is the sigmoid for hidden layers and identity for the output
 // layer. x holds batch rows of length ldx (≥ inDim); out is batch×units.
-func denseForward(out, x, w []float64, batch, inDim, units, ldx int, sigmoidAct bool) {
+func denseForwardScalar(out, x, w []float64, batch, inDim, units, ldx int, sigmoidAct bool) {
 	rowW := inDim + 1
 	var b int
 	// Four samples per pass share one traversal of the weight row. Each
@@ -99,7 +99,7 @@ func denseForward(out, x, w []float64, batch, inDim, units, ldx int, sigmoidAct 
 //
 // where a is the unit's forward activation. The k-sum runs in ascending
 // order, matching the per-sample backward pass bit-for-bit.
-func hiddenDelta(d, dNext, wNext, acts []float64, batch, units, unitsNext int) {
+func hiddenDeltaScalar(d, dNext, wNext, acts []float64, batch, units, unitsNext int) {
 	rowW := units + 1
 	var b int
 	// Four samples share one walk down each weight column; every sample
@@ -157,7 +157,7 @@ func hiddenDelta(d, dNext, wNext, acts []float64, batch, units, unitsNext int) {
 // velocity traversal with the per-sample term computed as (η·δ)·x. At
 // batch == 1 this is exactly v[i] = μ·v[i] − (η·δ)·x[i], reproducing the
 // per-sample update bit-for-bit.
-func sgdStep(w, vel, d, x []float64, batch, units, inDim, ldx int, lr, momentum float64) {
+func sgdStepScalar(w, vel, d, x []float64, batch, units, inDim, ldx int, lr, momentum float64) {
 	rowW := inDim + 1
 	for j := 0; j < units; j++ {
 		row := w[j*rowW:][:rowW]

@@ -1,0 +1,693 @@
+//go:build amd64 && !actor_noasm
+
+// AVX2 vector kernels for the batched trainer. Every routine vectorizes
+// across INDEPENDENT outputs only — four batch samples, four units, or
+// four weight indices per instruction — and performs, per output, exactly
+// the operation sequence of the scalar reference in gemm.go: the same
+// multiplies, adds, subtracts and divides, in the same order, with no FMA
+// contraction (a fused multiply-add rounds once where the reference rounds
+// twice, which would break bit-identity). Reductions (the i-sums of the
+// forward pass, the k-sums of backprop) always stay within one lane.
+//
+// The EXPCORE macro is fastExp from gemm.go transcribed operation for
+// operation; see that file for the algorithm. Lanes whose input is below
+// the underflow cutoff are computed anyway and zeroed at the end (the
+// scalar path returns 0 early) — the discarded lanes cannot raise traps
+// because SSE/AVX exceptions are masked in Go.
+
+#include "textflag.h"
+
+DATA expconsts<>+0(SB)/8, $0x4086280000000000   // 709.0 (overflow clamp)
+DATA expconsts<>+8(SB)/8, $0x4086280000000000
+DATA expconsts<>+16(SB)/8, $0x4086280000000000
+DATA expconsts<>+24(SB)/8, $0x4086280000000000
+DATA expconsts<>+32(SB)/8, $0xc086200000000000  // -708.0 (underflow cutoff)
+DATA expconsts<>+40(SB)/8, $0xc086200000000000
+DATA expconsts<>+48(SB)/8, $0xc086200000000000
+DATA expconsts<>+56(SB)/8, $0xc086200000000000
+DATA expconsts<>+64(SB)/8, $0x3ff71547652b82fe  // log2(e)
+DATA expconsts<>+72(SB)/8, $0x3ff71547652b82fe
+DATA expconsts<>+80(SB)/8, $0x3ff71547652b82fe
+DATA expconsts<>+88(SB)/8, $0x3ff71547652b82fe
+DATA expconsts<>+96(SB)/8, $0x3fe0000000000000  // 0.5 (rounding bias, poly c2)
+DATA expconsts<>+104(SB)/8, $0x3fe0000000000000
+DATA expconsts<>+112(SB)/8, $0x3fe0000000000000
+DATA expconsts<>+120(SB)/8, $0x3fe0000000000000
+DATA expconsts<>+128(SB)/8, $0x3fe62e42fee00000 // ln2hi
+DATA expconsts<>+136(SB)/8, $0x3fe62e42fee00000
+DATA expconsts<>+144(SB)/8, $0x3fe62e42fee00000
+DATA expconsts<>+152(SB)/8, $0x3fe62e42fee00000
+DATA expconsts<>+160(SB)/8, $0x3dea39ef35793c76 // ln2lo
+DATA expconsts<>+168(SB)/8, $0x3dea39ef35793c76
+DATA expconsts<>+176(SB)/8, $0x3dea39ef35793c76
+DATA expconsts<>+184(SB)/8, $0x3dea39ef35793c76
+DATA expconsts<>+192(SB)/8, $0x3efa01a01a01a01a // 1/40320
+DATA expconsts<>+200(SB)/8, $0x3efa01a01a01a01a
+DATA expconsts<>+208(SB)/8, $0x3efa01a01a01a01a
+DATA expconsts<>+216(SB)/8, $0x3efa01a01a01a01a
+DATA expconsts<>+224(SB)/8, $0x3f2a01a01a01a01a // 1/5040
+DATA expconsts<>+232(SB)/8, $0x3f2a01a01a01a01a
+DATA expconsts<>+240(SB)/8, $0x3f2a01a01a01a01a
+DATA expconsts<>+248(SB)/8, $0x3f2a01a01a01a01a
+DATA expconsts<>+256(SB)/8, $0x3f56c16c16c16c17 // 1/720
+DATA expconsts<>+264(SB)/8, $0x3f56c16c16c16c17
+DATA expconsts<>+272(SB)/8, $0x3f56c16c16c16c17
+DATA expconsts<>+280(SB)/8, $0x3f56c16c16c16c17
+DATA expconsts<>+288(SB)/8, $0x3f81111111111111 // 1/120
+DATA expconsts<>+296(SB)/8, $0x3f81111111111111
+DATA expconsts<>+304(SB)/8, $0x3f81111111111111
+DATA expconsts<>+312(SB)/8, $0x3f81111111111111
+DATA expconsts<>+320(SB)/8, $0x3fa5555555555555 // 1/24
+DATA expconsts<>+328(SB)/8, $0x3fa5555555555555
+DATA expconsts<>+336(SB)/8, $0x3fa5555555555555
+DATA expconsts<>+344(SB)/8, $0x3fa5555555555555
+DATA expconsts<>+352(SB)/8, $0x3fc5555555555555 // 1/6
+DATA expconsts<>+360(SB)/8, $0x3fc5555555555555
+DATA expconsts<>+368(SB)/8, $0x3fc5555555555555
+DATA expconsts<>+376(SB)/8, $0x3fc5555555555555
+DATA expconsts<>+384(SB)/8, $0x3ff0000000000000 // 1.0
+DATA expconsts<>+392(SB)/8, $0x3ff0000000000000
+DATA expconsts<>+400(SB)/8, $0x3ff0000000000000
+DATA expconsts<>+408(SB)/8, $0x3ff0000000000000
+DATA expconsts<>+416(SB)/8, $0x00000000000003ff // exponent bias 1023 (int64)
+DATA expconsts<>+424(SB)/8, $0x00000000000003ff
+DATA expconsts<>+432(SB)/8, $0x00000000000003ff
+DATA expconsts<>+440(SB)/8, $0x00000000000003ff
+DATA expconsts<>+448(SB)/8, $0x8000000000000000 // sign-bit mask
+DATA expconsts<>+456(SB)/8, $0x8000000000000000
+DATA expconsts<>+464(SB)/8, $0x8000000000000000
+DATA expconsts<>+472(SB)/8, $0x8000000000000000
+GLOBL expconsts<>(SB), RODATA|NOPTR, $480
+
+// EXPCORE: Y0 = fastExp(Y0) for four lanes. R13 = &expconsts. Clobbers
+// Y1-Y4. Transcribes gemm.go fastExp operation for operation:
+//
+//	Y4 ← x < -708 (LT_OQ: false on NaN, like the scalar <)
+//	x  ← x > 709 ? 709 : x (GT_OQ compare + blend: NaN passes through)
+//	k  ← floor(x·log2e + 0.5) (VROUNDPD mode 1 = math.Floor)
+//	r  ← (x − k·ln2hi) − k·ln2lo
+//	p  ← Horner degree 8, each step one VMULPD then one VADDPD —
+//	     two roundings, exactly like the scalar `c + r*p`
+//	k  → int32 → int64 lanes, +1023, <<52: the exponent bits of 2^k
+//	     (|k| ≤ 1024 on live lanes; underflowed lanes are garbage here)
+//	Y0 ← p · 2^k, then zero the x < -708 lanes (the scalar early return)
+#define EXPCORE \
+	VCMPPD  $0x11, 32(R13), Y0, Y4 \
+	VMOVUPD 0(R13), Y1             \
+	VCMPPD  $0x1e, Y1, Y0, Y2      \
+	VBLENDVPD Y2, Y1, Y0, Y0       \
+	VMULPD  64(R13), Y0, Y1        \
+	VADDPD  96(R13), Y1, Y1        \
+	VROUNDPD $1, Y1, Y1            \
+	VMULPD  128(R13), Y1, Y2       \
+	VSUBPD  Y2, Y0, Y2             \
+	VMULPD  160(R13), Y1, Y3       \
+	VSUBPD  Y3, Y2, Y2             \
+	VMOVUPD 192(R13), Y3           \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  224(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  256(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  288(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  320(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  352(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  96(R13), Y3, Y3        \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  384(R13), Y3, Y3       \
+	VMULPD  Y2, Y3, Y3             \
+	VADDPD  384(R13), Y3, Y3       \
+	VCVTTPD2DQY Y1, X1             \
+	VPMOVSXDQ X1, Y1               \
+	VPADDQ  416(R13), Y1, Y1       \
+	VPSLLQ  $52, Y1, Y1            \
+	VMULPD  Y1, Y3, Y0             \
+	VANDNPD Y0, Y4, Y0
+
+// func expVec4(v *float64, n int)
+// v[0:n] = fastExp(v[0:n]); n must be a multiple of 4.
+TEXT ·expVec4(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	LEAQ expconsts<>(SB), R13
+	SHRQ $2, CX
+	JZ   expdone
+exploop:
+	VMOVUPD (DI), Y0
+	EXPCORE
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  exploop
+expdone:
+	VZEROUPPER
+	RET
+
+// func sigmoidVec4(v *float64, n int)
+// v[0:n] = 1/(1+fastExp(-v[0:n])); n must be a multiple of 4.
+TEXT ·sigmoidVec4(SB), NOSPLIT, $0-16
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	LEAQ expconsts<>(SB), R13
+	SHRQ $2, CX
+	JZ   sigdone
+sigloop:
+	VMOVUPD (DI), Y0
+	VXORPD  448(R13), Y0, Y0 // -x (sign flip, exact)
+	EXPCORE
+	VADDPD  384(R13), Y0, Y0 // 1 + e
+	VMOVUPD 384(R13), Y1
+	VDIVPD  Y0, Y1, Y0       // 1 / (1 + e)
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  sigloop
+sigdone:
+	VZEROUPPER
+	RET
+
+// func denseSumsT4(tmp, w, xT *float64, units, inDim int)
+// For a group of four batch samples packed column-major in xT
+// (xT[i*4+k] = sample k's feature i):
+//
+//	tmp[j*4+k] = w[j*rowW+inDim] + Σ_i w[j*rowW+i]·xT[i*4+k],  rowW = inDim+1
+//
+// Four samples advance per instruction and four weight rows share each
+// traversal of xT (register blocking over independent outputs only); each
+// sample's sum accumulates bias-first then ascending i, exactly like the
+// scalar forward. units ≥ 1, inDim ≥ 1.
+TEXT ·denseSumsT4(SB), NOSPLIT, $0-40
+	MOVQ tmp+0(FP), DI
+	MOVQ w+8(FP), SI
+	MOVQ xT+16(FP), DX
+	MOVQ units+24(FP), CX
+	MOVQ inDim+32(FP), R8
+	LEAQ 1(R8), R10
+	SHLQ $3, R10                // rowW bytes
+	LEAQ (R10)(R10*1), R11      // 2·rowW bytes
+	LEAQ (R10)(R10*2), R12      // 3·rowW bytes
+	MOVQ CX, BX
+	SHRQ $2, BX                 // unit blocks of four
+	JZ   ds1setup
+ds4jloop:
+	LEAQ (SI)(R8*8), AX         // &row0[inDim] (the bias column)
+	VBROADCASTSD (AX), Y0
+	VBROADCASTSD (AX)(R10*1), Y1
+	VBROADCASTSD (AX)(R11*1), Y2
+	VBROADCASTSD (AX)(R12*1), Y3
+	MOVQ SI, R9                 // row0 weight cursor
+	MOVQ DX, AX                 // xT cursor
+	MOVQ R8, R13
+ds4iloop:
+	VMOVUPD (AX), Y4            // x{0..3}[i]
+	VBROADCASTSD (R9), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y0, Y0
+	VBROADCASTSD (R9)(R10*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y1, Y1
+	VBROADCASTSD (R9)(R11*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y2, Y2
+	VBROADCASTSD (R9)(R12*1), Y5
+	VMULPD  Y4, Y5, Y5
+	VADDPD  Y5, Y3, Y3
+	ADDQ $8, R9
+	ADDQ $32, AX
+	DECQ R13
+	JNZ  ds4iloop
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	ADDQ $128, DI
+	ADDQ R12, SI                // advance four weight rows
+	ADDQ R10, SI
+	DECQ BX
+	JNZ  ds4jloop
+ds1setup:
+	ANDQ $3, CX                 // leftover units
+	JZ   dsdone
+ds1jloop:
+	VBROADCASTSD (SI)(R8*8), Y0 // acc = bias (row[inDim])
+	MOVQ SI, R9                 // weight-row cursor
+	MOVQ DX, R13                // xT cursor
+	MOVQ R8, R11
+ds1iloop:
+	VBROADCASTSD (R9), Y1
+	VMULPD  (R13), Y1, Y1       // w[i] · x{0..3}[i]
+	VADDPD  Y1, Y0, Y0
+	ADDQ $8, R9
+	ADDQ $32, R13
+	DECQ R11
+	JNZ  ds1iloop
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	LEAQ 8(SI)(R8*8), SI        // next weight row (rowW = inDim+1 doubles)
+	DECQ CX
+	JNZ  ds1jloop
+dsdone:
+	VZEROUPPER
+	RET
+
+// func packT4(xT, x0, x1, x2, x3 *float64, n int)
+// Transposes four sample rows into the column-major group layout:
+// xT[i*4+k] = xk[i]. Pure data movement — no arithmetic, so no rounding.
+TEXT ·packT4(SB), NOSPLIT, $0-48
+	MOVQ xT+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), R8
+	MOVQ x3+32(FP), R9
+	MOVQ n+40(FP), CX
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   pttail
+ptloop:
+	VMOVUPD (SI), Y0
+	VMOVUPD (DX), Y1
+	VMOVUPD (R8), Y2
+	VMOVUPD (R9), Y3
+	VUNPCKLPD Y1, Y0, Y4        // x0[0] x1[0] x0[2] x1[2]
+	VUNPCKHPD Y1, Y0, Y5        // x0[1] x1[1] x0[3] x1[3]
+	VUNPCKLPD Y3, Y2, Y6        // x2[0] x3[0] x2[2] x3[2]
+	VUNPCKHPD Y3, Y2, Y7        // x2[1] x3[1] x2[3] x3[3]
+	VPERM2F128 $0x20, Y6, Y4, Y0
+	VPERM2F128 $0x20, Y7, Y5, Y1
+	VPERM2F128 $0x31, Y6, Y4, Y2
+	VPERM2F128 $0x31, Y7, Y5, Y3
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, 64(DI)
+	VMOVUPD Y3, 96(DI)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $128, DI
+	DECQ BX
+	JNZ  ptloop
+pttail:
+	ANDQ $3, CX
+	JZ   ptdone
+pttloop:
+	MOVQ (SI), AX
+	MOVQ AX, (DI)
+	MOVQ (DX), AX
+	MOVQ AX, 8(DI)
+	MOVQ (R8), AX
+	MOVQ AX, 16(DI)
+	MOVQ (R9), AX
+	MOVQ AX, 24(DI)
+	ADDQ $8, SI
+	ADDQ $8, DX
+	ADDQ $8, R8
+	ADDQ $8, R9
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  pttloop
+ptdone:
+	VZEROUPPER
+	RET
+
+// func scatterT4(o0, o1, o2, o3, tmp *float64, n int)
+// Inverse of packT4: ok[j] = tmp[j*4+k] — distributes the group block back
+// into four output rows. Pure data movement.
+TEXT ·scatterT4(SB), NOSPLIT, $0-48
+	MOVQ o0+0(FP), SI
+	MOVQ o1+8(FP), DX
+	MOVQ o2+16(FP), R8
+	MOVQ o3+24(FP), R9
+	MOVQ tmp+32(FP), DI
+	MOVQ n+40(FP), CX
+	MOVQ CX, BX
+	SHRQ $2, BX
+	JZ   sttail
+stloop:
+	VMOVUPD (DI), Y0            // samples of unit j
+	VMOVUPD 32(DI), Y1          // unit j+1
+	VMOVUPD 64(DI), Y2
+	VMOVUPD 96(DI), Y3
+	VUNPCKLPD Y1, Y0, Y4
+	VUNPCKHPD Y1, Y0, Y5
+	VUNPCKLPD Y3, Y2, Y6
+	VUNPCKHPD Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y0 // sample 0's units j..j+3
+	VPERM2F128 $0x20, Y7, Y5, Y1
+	VPERM2F128 $0x31, Y6, Y4, Y2
+	VPERM2F128 $0x31, Y7, Y5, Y3
+	VMOVUPD Y0, (SI)
+	VMOVUPD Y1, (DX)
+	VMOVUPD Y2, (R8)
+	VMOVUPD Y3, (R9)
+	ADDQ $32, SI
+	ADDQ $32, DX
+	ADDQ $32, R8
+	ADDQ $32, R9
+	ADDQ $128, DI
+	DECQ BX
+	JNZ  stloop
+sttail:
+	ANDQ $3, CX
+	JZ   stdone
+sttloop:
+	MOVQ (DI), AX
+	MOVQ AX, (SI)
+	MOVQ 8(DI), AX
+	MOVQ AX, (DX)
+	MOVQ 16(DI), AX
+	MOVQ AX, (R8)
+	MOVQ 24(DI), AX
+	MOVQ AX, (R9)
+	ADDQ $32, DI
+	ADDQ $8, SI
+	ADDQ $8, DX
+	ADDQ $8, R8
+	ADDQ $8, R9
+	DECQ CX
+	JNZ  sttloop
+stdone:
+	VZEROUPPER
+	RET
+
+// func hiddenDeltaRow4(d, dNext, wNext, acts *float64, units4, unitsNext, rowW int)
+// One sample's backprop recurrence, four units per instruction:
+//
+//	d[j] = (Σ_k wNext[k*rowW+j]·dNext[k]) · a[j]·(1−a[j])   for j < units4
+//
+// The k-sum ascends within each lane; units4 is a positive multiple of 4
+// (the caller handles the j tail), unitsNext ≥ 1.
+TEXT ·hiddenDeltaRow4(SB), NOSPLIT, $0-56
+	MOVQ d+0(FP), DI
+	MOVQ dNext+8(FP), SI
+	MOVQ wNext+16(FP), DX
+	MOVQ acts+24(FP), R9
+	MOVQ units4+32(FP), CX
+	MOVQ unitsNext+40(FP), R8
+	MOVQ rowW+48(FP), R10
+	SHLQ $3, R10                // rowW in bytes
+	LEAQ expconsts<>(SB), R13
+	VMOVUPD 384(R13), Y6        // 1.0
+hdjloop:
+	VXORPD Y0, Y0, Y0
+	MOVQ DX, R11                // &wNext[j] column cursor
+	MOVQ SI, R12                // dNext cursor
+	MOVQ R8, R13
+hdkloop:
+	VBROADCASTSD (R12), Y1
+	VMULPD  (R11), Y1, Y1       // wNext[k*rowW+j..j+3] · dNext[k]
+	VADDPD  Y1, Y0, Y0
+	ADDQ R10, R11
+	ADDQ $8, R12
+	DECQ R13
+	JNZ  hdkloop
+	VMOVUPD (R9), Y1            // a
+	VMULPD  Y1, Y0, Y0          // s·a
+	VSUBPD  Y1, Y6, Y2          // 1−a
+	VMULPD  Y2, Y0, Y0          // (s·a)·(1−a)
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, R9
+	ADDQ $32, DX
+	SUBQ $4, CX
+	JNZ  hdjloop
+	VZEROUPPER
+	RET
+
+// func sgdFoldAll(vel, x0, x1, x2, x3, d *float64, units, inDim int, lr, mom float64)
+// The momentum-folding first block of the weight update, all units in one
+// call. For each unit j (t_k = lr·d[k·units+j], rowW = inDim+1):
+//
+//	vel[j*rowW+i]     = mom·v − (((t0·x0[i] + t1·x1[i]) + t2·x2[i]) + t3·x3[i])
+//	vel[j*rowW+inDim] = mom·v − (((t0 + t1) + t2) + t3)
+//
+// Interior i runs four lanes wide; the i tail and the bias column use
+// scalar AVX ops with the reference's exact association. units ≥ 1.
+TEXT ·sgdFoldAll(SB), NOSPLIT, $0-80
+	MOVQ vel+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), R8
+	MOVQ x3+32(FP), R9
+	MOVQ d+40(FP), R10
+	MOVQ units+48(FP), CX
+	MOVQ inDim+56(FP), R13
+	VBROADCASTSD lr+64(FP), Y9
+	VBROADCASTSD mom+72(FP), Y8
+	MOVQ CX, R11
+	SHLQ $3, R11                // d stride: units·8 bytes
+	LEAQ (R11)(R11*2), BX       // 3·units·8 bytes
+	MOVQ R13, R12
+	ANDQ $-4, R12
+	SHLQ $3, R12                // vector span: (inDim&^3)·8 bytes
+	SHLQ $3, R13                // row span: inDim·8 bytes (bias offset)
+sfajloop:
+	VBROADCASTSD (R10), Y4      // t0 = lr·d[j]
+	VMULPD Y9, Y4, Y4
+	VBROADCASTSD (R10)(R11*1), Y5
+	VMULPD Y9, Y5, Y5
+	VBROADCASTSD (R10)(R11*2), Y6
+	VMULPD Y9, Y6, Y6
+	VBROADCASTSD (R10)(BX*1), Y7
+	VMULPD Y9, Y7, Y7
+	XORQ AX, AX
+	CMPQ AX, R12
+	JGE  sfatail
+sfavloop:
+	VMOVUPD (SI)(AX*1), Y0
+	VMULPD  Y4, Y0, Y0          // t0·x0
+	VMOVUPD (DX)(AX*1), Y1
+	VMULPD  Y5, Y1, Y1
+	VADDPD  Y1, Y0, Y0          // + t1·x1
+	VMOVUPD (R8)(AX*1), Y1
+	VMULPD  Y6, Y1, Y1
+	VADDPD  Y1, Y0, Y0          // + t2·x2
+	VMOVUPD (R9)(AX*1), Y1
+	VMULPD  Y7, Y1, Y1
+	VADDPD  Y1, Y0, Y0          // + t3·x3
+	VMOVUPD (DI)(AX*1), Y2
+	VMULPD  Y8, Y2, Y2          // mom·v
+	VSUBPD  Y0, Y2, Y2          // − sum
+	VMOVUPD Y2, (DI)(AX*1)
+	ADDQ $32, AX
+	CMPQ AX, R12
+	JLT  sfavloop
+sfatail:
+	CMPQ AX, R13
+	JGE  sfabias
+sfatloop:
+	VMOVSD (SI)(AX*1), X0
+	VMULSD X4, X0, X0
+	VMOVSD (DX)(AX*1), X1
+	VMULSD X5, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (R8)(AX*1), X1
+	VMULSD X6, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (R9)(AX*1), X1
+	VMULSD X7, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (DI)(AX*1), X2
+	VMULSD X8, X2, X2
+	VSUBSD X0, X2, X2
+	VMOVSD X2, (DI)(AX*1)
+	ADDQ $8, AX
+	CMPQ AX, R13
+	JLT  sfatloop
+sfabias:
+	VADDSD X5, X4, X10          // (t0+t1)
+	VADDSD X6, X10, X10         // +t2
+	VADDSD X7, X10, X10         // +t3
+	VMOVSD (DI)(R13*1), X2
+	VMULSD X8, X2, X2
+	VSUBSD X10, X2, X2
+	VMOVSD X2, (DI)(R13*1)
+	LEAQ 8(DI)(R13*1), DI       // next vel row (rowW doubles)
+	ADDQ $8, R10                // next unit's d column
+	DECQ CX
+	JNZ  sfajloop
+	VZEROUPPER
+	RET
+
+// func sgdAxpyAll(vel, x0, x1, x2, x3, d *float64, units, inDim int, lr float64)
+// A non-folding 4-sample block of the weight update, all units in one call:
+//
+//	vel[j*rowW+i]     −= ((t0·x0[i] + t1·x1[i]) + t2·x2[i]) + t3·x3[i]
+//	vel[j*rowW+inDim] −= ((t0 + t1) + t2) + t3
+//
+// with t_k = lr·d[k·units+j]. Same tail/bias handling as sgdFoldAll.
+TEXT ·sgdAxpyAll(SB), NOSPLIT, $0-72
+	MOVQ vel+0(FP), DI
+	MOVQ x0+8(FP), SI
+	MOVQ x1+16(FP), DX
+	MOVQ x2+24(FP), R8
+	MOVQ x3+32(FP), R9
+	MOVQ d+40(FP), R10
+	MOVQ units+48(FP), CX
+	MOVQ inDim+56(FP), R13
+	VBROADCASTSD lr+64(FP), Y9
+	MOVQ CX, R11
+	SHLQ $3, R11
+	LEAQ (R11)(R11*2), BX
+	MOVQ R13, R12
+	ANDQ $-4, R12
+	SHLQ $3, R12
+	SHLQ $3, R13
+sajloop:
+	VBROADCASTSD (R10), Y4
+	VMULPD Y9, Y4, Y4
+	VBROADCASTSD (R10)(R11*1), Y5
+	VMULPD Y9, Y5, Y5
+	VBROADCASTSD (R10)(R11*2), Y6
+	VMULPD Y9, Y6, Y6
+	VBROADCASTSD (R10)(BX*1), Y7
+	VMULPD Y9, Y7, Y7
+	XORQ AX, AX
+	CMPQ AX, R12
+	JGE  satail
+savloop:
+	VMOVUPD (SI)(AX*1), Y0
+	VMULPD  Y4, Y0, Y0
+	VMOVUPD (DX)(AX*1), Y1
+	VMULPD  Y5, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (R8)(AX*1), Y1
+	VMULPD  Y6, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (R9)(AX*1), Y1
+	VMULPD  Y7, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	VMOVUPD (DI)(AX*1), Y2
+	VSUBPD  Y0, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*1)
+	ADDQ $32, AX
+	CMPQ AX, R12
+	JLT  savloop
+satail:
+	CMPQ AX, R13
+	JGE  sabias
+satloop:
+	VMOVSD (SI)(AX*1), X0
+	VMULSD X4, X0, X0
+	VMOVSD (DX)(AX*1), X1
+	VMULSD X5, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (R8)(AX*1), X1
+	VMULSD X6, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (R9)(AX*1), X1
+	VMULSD X7, X1, X1
+	VADDSD X1, X0, X0
+	VMOVSD (DI)(AX*1), X2
+	VSUBSD X0, X2, X2
+	VMOVSD X2, (DI)(AX*1)
+	ADDQ $8, AX
+	CMPQ AX, R13
+	JLT  satloop
+sabias:
+	VADDSD X5, X4, X10
+	VADDSD X6, X10, X10
+	VADDSD X7, X10, X10
+	VMOVSD (DI)(R13*1), X2
+	VSUBSD X10, X2, X2
+	VMOVSD X2, (DI)(R13*1)
+	LEAQ 8(DI)(R13*1), DI
+	ADDQ $8, R10
+	DECQ CX
+	JNZ  sajloop
+	VZEROUPPER
+	RET
+
+// func axpyNegAll(vel, x, d *float64, units, inDim int, lr float64)
+// A single straggler sample of the weight update, all units in one call:
+// with t = lr·d[j], vel[j*rowW+i] −= t·x[i] and vel[j*rowW+inDim] −= t.
+TEXT ·axpyNegAll(SB), NOSPLIT, $0-48
+	MOVQ vel+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ d+16(FP), R10
+	MOVQ units+24(FP), CX
+	MOVQ inDim+32(FP), R13
+	VBROADCASTSD lr+40(FP), Y9
+	MOVQ R13, R12
+	ANDQ $-4, R12
+	SHLQ $3, R12
+	SHLQ $3, R13
+anjloop:
+	VBROADCASTSD (R10), Y4
+	VMULPD Y9, Y4, Y4           // t = lr·d[j]
+	XORQ AX, AX
+	CMPQ AX, R12
+	JGE  antail
+anvloop:
+	VMOVUPD (SI)(AX*1), Y0
+	VMULPD  Y4, Y0, Y0
+	VMOVUPD (DI)(AX*1), Y1
+	VSUBPD  Y0, Y1, Y1
+	VMOVUPD Y1, (DI)(AX*1)
+	ADDQ $32, AX
+	CMPQ AX, R12
+	JLT  anvloop
+antail:
+	CMPQ AX, R13
+	JGE  anbias
+antloop:
+	VMOVSD (SI)(AX*1), X0
+	VMULSD X4, X0, X0
+	VMOVSD (DI)(AX*1), X1
+	VSUBSD X0, X1, X1
+	VMOVSD X1, (DI)(AX*1)
+	ADDQ $8, AX
+	CMPQ AX, R13
+	JLT  antloop
+anbias:
+	VMOVSD (DI)(R13*1), X2
+	VSUBSD X4, X2, X2
+	VMOVSD X2, (DI)(R13*1)
+	LEAQ 8(DI)(R13*1), DI
+	ADDQ $8, R10
+	DECQ CX
+	JNZ  anjloop
+	VZEROUPPER
+	RET
+
+// func vecScale4(v *float64, n int, s float64)
+// v[i] = s·v[i] for i < n; n is a multiple of 4.
+TEXT ·vecScale4(SB), NOSPLIT, $0-24
+	MOVQ v+0(FP), DI
+	MOVQ n+8(FP), CX
+	VBROADCASTSD s+16(FP), Y4
+	SHRQ $2, CX
+	JZ   vsdone
+vsloop:
+	VMOVUPD (DI), Y0
+	VMULPD  Y4, Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	DECQ CX
+	JNZ  vsloop
+vsdone:
+	VZEROUPPER
+	RET
+
+// func vecAdd4(dst, src *float64, n int)
+// dst[i] += src[i] for i < n; n is a multiple of 4.
+TEXT ·vecAdd4(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	SHRQ $2, CX
+	JZ   vadone
+valoop:
+	VMOVUPD (DI), Y0
+	VADDPD  (SI), Y0, Y0
+	VMOVUPD Y0, (DI)
+	ADDQ $32, DI
+	ADDQ $32, SI
+	DECQ CX
+	JNZ  valoop
+vadone:
+	VZEROUPPER
+	RET

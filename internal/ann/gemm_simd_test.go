@@ -1,0 +1,256 @@
+//go:build amd64 && !actor_noasm
+
+// Bit-identity enforcement for the AVX2 kernels: every test drives the
+// vector and scalar implementations over the same inputs — including odd
+// shapes that exercise tail lanes, batch=1 and units=1 — and requires the
+// outputs to match to the last bit (math.Float64bits equality, so NaN
+// payloads and signed zeros count too).
+package ann
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/greenhpc/actor/internal/simd"
+)
+
+// needAVX2 skips the test when the machine cannot run the vector kernels
+// at all (the assembly is still compiled in). ACTOR_SIMD=off does NOT skip
+// these tests: the env var only changes the default binding, and calling
+// the AVX2 implementations directly keeps them covered on the scalar CI
+// leg.
+func needAVX2(t testing.TB) {
+	t.Helper()
+	f := simd.Detect()
+	if !f.AVX2 || !f.OSYMM {
+		t.Skip("no AVX2 on this machine")
+	}
+}
+
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func diffIndex(a, b []float64) int {
+	for i := range a {
+		if !bitsEqual(a[i], b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// expInputs mixes the boundary cases of fastExp's range reduction with
+// random magnitudes across the full exponent range.
+func expInputs(rng *rand.Rand, n int) []float64 {
+	edge := []float64{
+		0, math.Copysign(0, -1), 1, -1, 709, 709.0000001, 708.9999999, 710, 1000,
+		-708, -707.9999999, -708.0000001, -709, -1000,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		5e-324, -5e-324, 1e-300, -1e-300, math.MaxFloat64, -math.MaxFloat64,
+	}
+	v := make([]float64, n)
+	for i := range v {
+		if i < len(edge) {
+			v[i] = edge[i]
+			continue
+		}
+		v[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(13)-6))
+	}
+	return v
+}
+
+func TestExpVecBitIdentical(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 64, 257} {
+		in := expInputs(rng, n)
+		got := append([]float64(nil), in...)
+		expVec(got)
+		want := append([]float64(nil), in...)
+		for i := range want {
+			want[i] = fastExp(want[i])
+		}
+		if i := diffIndex(got, want); i >= 0 {
+			t.Fatalf("n=%d: expVec(%v)[%d] = %x, fastExp = %x",
+				n, in[i], i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestSigmoidVecBitIdentical(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 13, 100} {
+		in := expInputs(rng, n)
+		got := append([]float64(nil), in...)
+		sigmoidVec(got)
+		want := append([]float64(nil), in...)
+		for i := range want {
+			want[i] = sigmoid(want[i])
+		}
+		if i := diffIndex(got, want); i >= 0 {
+			t.Fatalf("n=%d: sigmoidVec(%v)[%d] = %x, sigmoid = %x",
+				n, in[i], i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return v
+}
+
+func TestDenseForwardBitIdentical(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		batch := 1 + rng.Intn(9)
+		inDim := 1 + rng.Intn(17)
+		units := 1 + rng.Intn(17)
+		ldx := inDim + rng.Intn(3)
+		sig := rng.Intn(2) == 0
+		x := randSlice(rng, batch*ldx)
+		w := randSlice(rng, units*(inDim+1))
+		got := make([]float64, batch*units)
+		want := make([]float64, batch*units)
+		denseForwardAVX2(got, x, w, batch, inDim, units, ldx, sig)
+		denseForwardScalar(want, x, w, batch, inDim, units, ldx, sig)
+		if i := diffIndex(got, want); i >= 0 {
+			t.Fatalf("trial %d (batch=%d inDim=%d units=%d ldx=%d sig=%v): out[%d] = %x, want %x",
+				trial, batch, inDim, units, ldx, sig, i,
+				math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestHiddenDeltaBitIdentical(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		batch := 1 + rng.Intn(9)
+		units := 1 + rng.Intn(17)
+		unitsNext := 1 + rng.Intn(9)
+		dNext := randSlice(rng, batch*unitsNext)
+		wNext := randSlice(rng, unitsNext*(units+1))
+		acts := randSlice(rng, batch*units)
+		for i := range acts {
+			acts[i] = 1 / (1 + math.Exp(-acts[i])) // plausible activations
+		}
+		got := make([]float64, batch*units)
+		want := make([]float64, batch*units)
+		hiddenDeltaAVX2(got, dNext, wNext, acts, batch, units, unitsNext)
+		hiddenDeltaScalar(want, dNext, wNext, acts, batch, units, unitsNext)
+		if i := diffIndex(got, want); i >= 0 {
+			t.Fatalf("trial %d (batch=%d units=%d next=%d): d[%d] = %x, want %x",
+				trial, batch, units, unitsNext, i,
+				math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+func TestSGDStepBitIdentical(t *testing.T) {
+	needAVX2(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		batch := 1 + rng.Intn(9)
+		units := 1 + rng.Intn(17)
+		inDim := 1 + rng.Intn(17)
+		ldx := inDim + rng.Intn(3)
+		lr := rng.Float64()
+		momentum := rng.Float64()
+		w := randSlice(rng, units*(inDim+1))
+		vel := randSlice(rng, units*(inDim+1))
+		d := randSlice(rng, batch*units)
+		x := randSlice(rng, batch*ldx)
+
+		wGot := append([]float64(nil), w...)
+		velGot := append([]float64(nil), vel...)
+		sgdStepAVX2(wGot, velGot, d, x, batch, units, inDim, ldx, lr, momentum)
+
+		wWant := append([]float64(nil), w...)
+		velWant := append([]float64(nil), vel...)
+		sgdStepScalar(wWant, velWant, d, x, batch, units, inDim, ldx, lr, momentum)
+
+		if i := diffIndex(wGot, wWant); i >= 0 {
+			t.Fatalf("trial %d (batch=%d units=%d inDim=%d): w[%d] = %x, want %x",
+				trial, batch, units, inDim, i,
+				math.Float64bits(wGot[i]), math.Float64bits(wWant[i]))
+		}
+		if i := diffIndex(velGot, velWant); i >= 0 {
+			t.Fatalf("trial %d (batch=%d units=%d inDim=%d): vel[%d] = %x, want %x",
+				trial, batch, units, inDim, i,
+				math.Float64bits(velGot[i]), math.Float64bits(velWant[i]))
+		}
+	}
+}
+
+// FuzzDenseForwardBitIdentity lets the fuzzer search shape corners and
+// value patterns the fixed trials miss.
+func FuzzDenseForwardBitIdentity(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint8(2), uint8(0), true)
+	f.Add(int64(7), uint8(1), uint8(1), uint8(1), uint8(2), false)
+	f.Add(int64(9), uint8(8), uint8(13), uint8(16), uint8(1), true)
+	f.Fuzz(func(t *testing.T, seed int64, batchB, inDimB, unitsB, padB uint8, sig bool) {
+		fz := simd.Detect()
+		if !fz.AVX2 || !fz.OSYMM {
+			t.Skip("no AVX2")
+		}
+		batch := 1 + int(batchB%12)
+		inDim := 1 + int(inDimB%20)
+		units := 1 + int(unitsB%20)
+		ldx := inDim + int(padB%4)
+		rng := rand.New(rand.NewSource(seed))
+		x := randSlice(rng, batch*ldx)
+		w := randSlice(rng, units*(inDim+1))
+		got := make([]float64, batch*units)
+		want := make([]float64, batch*units)
+		denseForwardAVX2(got, x, w, batch, inDim, units, ldx, sig)
+		denseForwardScalar(want, x, w, batch, inDim, units, ldx, sig)
+		if i := diffIndex(got, want); i >= 0 {
+			t.Fatalf("batch=%d inDim=%d units=%d ldx=%d sig=%v: out[%d] = %x, want %x",
+				batch, inDim, units, ldx, sig, i,
+				math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	})
+}
+
+// FuzzSGDStepBitIdentity fuzzes the weight-update drain order across batch
+// sizes on both sides of the momentum-folding threshold.
+func FuzzSGDStepBitIdentity(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint8(2), uint8(0))
+	f.Add(int64(3), uint8(3), uint8(16), uint8(13), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, batchB, unitsB, inDimB, padB uint8) {
+		fz := simd.Detect()
+		if !fz.AVX2 || !fz.OSYMM {
+			t.Skip("no AVX2")
+		}
+		batch := 1 + int(batchB%12)
+		units := 1 + int(unitsB%20)
+		inDim := 1 + int(inDimB%20)
+		ldx := inDim + int(padB%4)
+		rng := rand.New(rand.NewSource(seed))
+		w := randSlice(rng, units*(inDim+1))
+		vel := randSlice(rng, units*(inDim+1))
+		d := randSlice(rng, batch*units)
+		x := randSlice(rng, batch*ldx)
+		lr, momentum := rng.Float64(), rng.Float64()
+
+		wGot := append([]float64(nil), w...)
+		velGot := append([]float64(nil), vel...)
+		sgdStepAVX2(wGot, velGot, d, x, batch, units, inDim, ldx, lr, momentum)
+		wWant := append([]float64(nil), w...)
+		velWant := append([]float64(nil), vel...)
+		sgdStepScalar(wWant, velWant, d, x, batch, units, inDim, ldx, lr, momentum)
+		if i := diffIndex(wGot, wWant); i >= 0 {
+			t.Fatalf("batch=%d units=%d inDim=%d: w[%d] mismatch", batch, units, inDim, i)
+		}
+		if i := diffIndex(velGot, velWant); i >= 0 {
+			t.Fatalf("batch=%d units=%d inDim=%d: vel[%d] mismatch", batch, units, inDim, i)
+		}
+	})
+}

@@ -1,0 +1,21 @@
+// Exported kernel entry points for the root benchmark suite and
+// diagnostics: each invokes whatever implementation the dispatch in
+// dispatch.go bound at startup (scalar reference or AVX2), so the
+// microbenchmarks measure exactly the kernel the trainer runs.
+package ann
+
+// DenseForwardKernel runs the bound batched dense-layer kernel:
+// out[b*units+j] = act(w[j]·x[b] + bias).
+func DenseForwardKernel(out, x, w []float64, batch, inDim, units, ldx int, sigmoidAct bool) {
+	denseForward(out, x, w, batch, inDim, units, ldx, sigmoidAct)
+}
+
+// HiddenDeltaKernel runs the bound backprop hidden-delta kernel.
+func HiddenDeltaKernel(d, dNext, wNext, acts []float64, batch, units, unitsNext int) {
+	hiddenDelta(d, dNext, wNext, acts, batch, units, unitsNext)
+}
+
+// SGDStepKernel runs the bound fused momentum/AXPY weight-update kernel.
+func SGDStepKernel(w, vel, d, x []float64, batch, units, inDim, ldx int, lr, momentum float64) {
+	sgdStep(w, vel, d, x, batch, units, inDim, ldx, lr, momentum)
+}

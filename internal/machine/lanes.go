@@ -1,0 +1,115 @@
+// Multi-lane fixed-point kernel: one lane per distinct (class, load) solve
+// key, advanced as struct-of-arrays blocks so one iteration updates every
+// lane of every placement in the current sweep block.
+//
+// Bit-identity contract: the scalar phase model computed, per thread and
+// per fixed-point iteration,
+//
+//	memLat  = ((MemLatencyCycles·clock)·FreqMult · busFactor) · prefetchHide
+//	memTerm = ((mpiL1·missL2) · memLat) / MLP
+//	cpi     = max(base + memTerm, CPIMult/PeakIssueIPC) / FreqMult
+//	contrib = ((mpiL1·missL2) · (freq/cpi)) · trafficPerMiss
+//
+// with base = ((coreCPI + branch) + tlb) + l2Term. Each lane holds the
+// iteration-invariant factors of those expressions — pfx =
+// (MemLatencyCycles·clock)·FreqMult, q = mpiL1·missL2, min =
+// CPIMult/PeakIssueIPC, divf = FreqMult — computed once with exactly the
+// operand order above, so advancing a lane performs the identical IEEE-754
+// operation sequence the scalar model performed for every thread sharing
+// the key. Lanes are independent (no cross-lane reduction), which is what
+// lets a vector implementation process several lanes per instruction
+// without reordering a single float operation. The always-built scalar
+// reference below is the semantics; advanceLanes is the dispatch point.
+package machine
+
+// laneState is the struct-of-arrays solve state for the lanes of one block
+// of placements. All slices share length; done masks lanes whose placement
+// already reached its exact fixed point.
+type laneState struct {
+	// Iteration-invariant per-lane factors (see package comment).
+	base []float64 // core + branch + TLB + L2 CPI terms
+	pfx  []float64 // memory-latency prefix: (MemLatencyCycles·clock)·FreqMult
+	q    []float64 // L2 misses per instruction: mpiL1·missL2
+	min  []float64 // issue-width clamp: CPIMult/PeakIssueIPC
+	divf []float64 // nominal-clock referencing divisor: FreqMult
+
+	// Per-iteration inputs and outputs.
+	bus     []float64 // owning placement's current bus latency factor
+	cpi     []float64 // nominal-clock-referenced CPI after the last step
+	contrib []float64 // per-thread FSB traffic of one thread on this lane
+	done    []bool    // lane retired: owning placement converged exactly
+}
+
+// len returns the number of lanes appended to the block.
+func (ls *laneState) len() int { return len(ls.base) }
+
+// reset truncates the block's lanes, keeping capacity.
+func (ls *laneState) reset() {
+	ls.base = ls.base[:0]
+	ls.pfx = ls.pfx[:0]
+	ls.q = ls.q[:0]
+	ls.min = ls.min[:0]
+	ls.divf = ls.divf[:0]
+}
+
+// append adds one lane's invariant factors.
+func (ls *laneState) append(base, pfx, q, min, divf float64) {
+	ls.base = append(ls.base, base)
+	ls.pfx = append(ls.pfx, pfx)
+	ls.q = append(ls.q, q)
+	ls.min = append(ls.min, min)
+	ls.divf = append(ls.divf, divf)
+}
+
+// sizeDerived sizes the per-iteration arrays to match the appended lanes
+// and clears the retirement mask.
+func (ls *laneState) sizeDerived() {
+	n := ls.len()
+	if cap(ls.bus) < n {
+		ls.bus = make([]float64, n)
+		ls.cpi = make([]float64, n)
+		ls.contrib = make([]float64, n)
+		ls.done = make([]bool, n)
+	}
+	ls.bus = ls.bus[:n]
+	ls.cpi = ls.cpi[:n]
+	ls.contrib = ls.contrib[:n]
+	ls.done = ls.done[:n]
+	for i := range ls.done {
+		ls.done[i] = false
+	}
+}
+
+// advanceLanes performs one damped-fixed-point iteration step for every
+// live lane of the block: threadCPI at the lane's current bus factor plus
+// the lane's per-thread traffic contribution. It is the kernel dispatch
+// point — a SIMD build may replace it with a vector implementation, which
+// is bit-identical by construction because every lane's operation sequence
+// is element-wise (see the package comment) and may also recompute retired
+// lanes (their inputs no longer change, so recomputation is exact).
+var advanceLanes = advanceLanesScalar
+
+// laneKernelVariant names the bound lane kernel ("scalar" or "avx2") for
+// benchmark metadata and diagnostics.
+var laneKernelVariant = "scalar"
+
+// LaneKernelVariant reports which sweep lane kernel this process bound at
+// startup: "avx2" when the vector kernel is active, "scalar" otherwise.
+func LaneKernelVariant() string { return laneKernelVariant }
+
+// advanceLanesScalar is the always-built reference implementation.
+func advanceLanesScalar(ls *laneState, prefetchHide, mlp, freq, trafficPerMiss float64) {
+	for l := range ls.base {
+		if ls.done[l] {
+			continue
+		}
+		memLat := ls.pfx[l] * ls.bus[l] * prefetchHide
+		cpi := ls.base[l] + ls.q[l]*memLat/mlp
+		if cpi < ls.min[l] {
+			cpi = ls.min[l]
+		}
+		cpi = cpi / ls.divf[l]
+		ls.cpi[l] = cpi
+		ls.contrib[l] = ls.q[l] * (freq / cpi) * trafficPerMiss
+	}
+}

@@ -1,0 +1,58 @@
+//go:build amd64 && !actor_noasm
+
+#include "textflag.h"
+
+// func advanceLanes4(base, pfx, q, min, divf, bus, cpi, contrib *float64, n int, prefetchHide, mlp, freq, tpm float64)
+// One damped-fixed-point step for four lanes per instruction, exactly the
+// scalar sequence of advanceLanesScalar per lane:
+//
+//	memLat  = (pfx·bus)·prefetchHide
+//	cpi     = base + (q·memLat)/mlp
+//	cpi     = cpi < min ? min : cpi     (LT_OQ — false on NaN, like Go's <)
+//	cpi     = cpi / divf
+//	contrib = (q·(freq/cpi))·tpm
+//
+// Retired (done) lanes are recomputed rather than skipped: their inputs are
+// frozen once the owning placement converges, so the recomputation yields
+// the identical bits the lane already holds. n is a multiple of 4; the
+// caller runs the scalar reference on the tail.
+TEXT ·advanceLanes4(SB), NOSPLIT, $0-104
+	MOVQ base+0(FP), DI
+	MOVQ pfx+8(FP), SI
+	MOVQ q+16(FP), DX
+	MOVQ min+24(FP), R8
+	MOVQ divf+32(FP), R9
+	MOVQ bus+40(FP), R10
+	MOVQ cpi+48(FP), R11
+	MOVQ contrib+56(FP), R12
+	MOVQ n+64(FP), CX
+	VBROADCASTSD prefetchHide+72(FP), Y8
+	VBROADCASTSD mlp+80(FP), Y9
+	VBROADCASTSD freq+88(FP), Y10
+	VBROADCASTSD tpm+96(FP), Y11
+	XORQ AX, AX
+	SHRQ $2, CX
+	JZ   aldone
+alloop:
+	VMOVUPD (SI)(AX*1), Y0      // pfx
+	VMULPD  (R10)(AX*1), Y0, Y0 // · bus
+	VMULPD  Y8, Y0, Y0          // · prefetchHide = memLat
+	VMOVUPD (DX)(AX*1), Y2      // q
+	VMULPD  Y0, Y2, Y3          // q·memLat
+	VDIVPD  Y9, Y3, Y3          // / mlp
+	VADDPD  (DI)(AX*1), Y3, Y3  // base + memTerm
+	VMOVUPD (R8)(AX*1), Y5      // min
+	VCMPPD  $0x11, Y5, Y3, Y6   // cpi < min (LT_OQ)
+	VBLENDVPD Y6, Y5, Y3, Y3    // clamp to min where below
+	VDIVPD  (R9)(AX*1), Y3, Y3  // / divf
+	VMOVUPD Y3, (R11)(AX*1)     // cpi out
+	VDIVPD  Y3, Y10, Y0         // freq/cpi
+	VMULPD  Y0, Y2, Y0          // q·(freq/cpi)
+	VMULPD  Y11, Y0, Y0         // · trafficPerMiss
+	VMOVUPD Y0, (R12)(AX*1)     // contrib out
+	ADDQ $32, AX
+	DECQ CX
+	JNZ  alloop
+aldone:
+	VZEROUPPER
+	RET

@@ -1,0 +1,35 @@
+//go:build amd64 && !actor_noasm
+
+package simd
+
+const asmBuilt = true
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() (eax, edx uint32)
+
+func detect() Features {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return Features{}
+	}
+	var f Features
+	_, _, ecx1, _ := cpuid(1, 0)
+	f.AVX = ecx1&(1<<28) != 0
+	f.FMA = ecx1&(1<<12) != 0
+	osxsave := ecx1&(1<<27) != 0
+	if osxsave {
+		xlo, _ := xgetbv0()
+		// XCR0 bit 1 = SSE (XMM) state, bit 2 = AVX (YMM) state: both must
+		// be OS-managed for AVX registers to survive context switches.
+		f.OSYMM = xlo&0x6 == 0x6
+	}
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ := cpuid(7, 0)
+		f.AVX2 = ebx7&(1<<5) != 0
+		f.AVX512F = ebx7&(1<<16) != 0
+	}
+	return f
+}

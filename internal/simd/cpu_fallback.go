@@ -1,0 +1,10 @@
+//go:build !amd64 || actor_noasm
+
+package simd
+
+const asmBuilt = false
+
+// detect reports no vector features: either the target has no assembly
+// kernels, or the actor_noasm tag pinned the build to the scalar
+// reference.
+func detect() Features { return Features{} }

@@ -1,0 +1,5 @@
+//go:build amd64.v2 && !amd64.v3
+
+package simd
+
+const goamd64Level = "v2"

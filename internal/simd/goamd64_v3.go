@@ -1,0 +1,5 @@
+//go:build amd64.v3 && !amd64.v4
+
+package simd
+
+const goamd64Level = "v3"

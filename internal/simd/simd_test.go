@@ -1,0 +1,55 @@
+package simd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnvOff(t *testing.T) {
+	for _, v := range []string{"off", "OFF", " Off ", "0", "false", "no", "scalar", "SCALAR"} {
+		if !envOff(v) {
+			t.Errorf("envOff(%q) = false, want true", v)
+		}
+	}
+	for _, v := range []string{"", "on", "1", "avx2", "yes"} {
+		if envOff(v) {
+			t.Errorf("envOff(%q) = true, want false", v)
+		}
+	}
+}
+
+func TestEnabledRequiresHardware(t *testing.T) {
+	// Enabled may only be true when assembly is built and the machine
+	// reports both AVX2 and OS-managed YMM state.
+	if Enabled() {
+		if !AsmBuilt() {
+			t.Fatal("Enabled() with no assembly built")
+		}
+		f := Detect()
+		if !f.AVX2 || !f.OSYMM {
+			t.Fatalf("Enabled() with features %v", f)
+		}
+	}
+}
+
+func TestDetectConsistency(t *testing.T) {
+	f := Detect()
+	// AVX2 is an extension of AVX: real hardware never reports AVX2
+	// without AVX. (Zero-feature fallback builds pass trivially.)
+	if f.AVX2 && !f.AVX {
+		t.Fatalf("implausible feature set: %v", f)
+	}
+	if Detect() != f {
+		t.Fatal("Detect not stable across calls")
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	s := Summary()
+	if !strings.Contains(s, "goamd64=") || !strings.Contains(s, "features=") {
+		t.Fatalf("Summary missing fields: %q", s)
+	}
+	if !strings.HasPrefix(s, "avx2 ") && !strings.HasPrefix(s, "scalar ") {
+		t.Fatalf("Summary mode missing: %q", s)
+	}
+}

@@ -30,6 +30,12 @@ BENCHTIME="${3:-1s}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# SIMD dispatch metadata (GOAMD64 level, CPU features, bound kernel
+# variants) for the snapshot's _meta block, so every snapshot records the
+# kernel configuration that produced its numbers.
+SIMD_META="$(go run ./scripts/simdinfo)" || SIMD_META="{}"
+export SIMD_META
+
 echo "running: go test -run ^$ -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
@@ -57,7 +63,9 @@ BEGIN { print "{"; first = 1 }
 }
 END {
     if (!first) printf ",\n"
-    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"bench\": \"env GOMAXPROCS=%s\"}\n", goos, goarch, cpu, ENVIRON["GOMAXPROCS"]
+    simd = ENVIRON["SIMD_META"]
+    if (simd == "") simd = "{}"
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"bench\": \"env GOMAXPROCS=%s\", \"simd\": %s}\n", goos, goarch, cpu, ENVIRON["GOMAXPROCS"], simd
     print "}"
 }' "$RAW" > "$OUT"
 

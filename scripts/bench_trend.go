@@ -158,15 +158,27 @@ func gate(snaps []snapshot, names []string, maxRegressPct float64, allowed map[s
 	fmt.Printf("trend gate: BENCH_%d vs BENCH_%d, ns/op regression threshold %+.0f%%\n",
 		last.num, prev.num, maxRegressPct)
 	ok := true
-	var skipped []string
+	// Benchmarks present on only one side can't be compared, but each kind
+	// is reported distinctly (informationally — neither fails the gate): a
+	// "new" entry is expected when a PR adds benchmarks; a "removed" entry
+	// makes a regression hidden behind a rename visible in the CI log
+	// rather than silently passing.
+	var added, removed, odd []string
 	for _, name := range names {
 		was, okPrev := prev.values[name]["ns_per_op"]
 		now, okLast := last.values[name]["ns_per_op"]
-		if !okPrev || !okLast || was <= 0 {
-			// Added/removed/renamed benchmarks can't be compared — list
-			// them so a regression hidden behind a rename is visible in
-			// the CI log rather than silently passing.
-			skipped = append(skipped, name)
+		switch {
+		case okPrev && okLast && was > 0:
+		case !okPrev && okLast:
+			added = append(added, name)
+			continue
+		case okPrev && !okLast:
+			removed = append(removed, name)
+			continue
+		default:
+			// In neither compared snapshot (only older ones), or a
+			// non-positive baseline.
+			odd = append(odd, name)
 			continue
 		}
 		change := (now - was) / was * 100
@@ -180,8 +192,17 @@ func gate(snaps []snapshot, names []string, maxRegressPct float64, allowed map[s
 		fmt.Printf("  FAIL    %-44s %.0f → %.0f ns/op (%+.1f%%)\n", name, was, now, change)
 		ok = false
 	}
-	if len(skipped) > 0 {
-		fmt.Printf("  skipped (added/removed between snapshots): %s\n", strings.Join(skipped, ", "))
+	if len(added) > 0 {
+		fmt.Printf("  new in BENCH_%d (no baseline yet, informational): %s\n",
+			last.num, strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("  removed in BENCH_%d (check for renames hiding regressions): %s\n",
+			last.num, strings.Join(removed, ", "))
+	}
+	if len(odd) > 0 {
+		fmt.Printf("  skipped (absent from both compared snapshots or zero baseline): %s\n",
+			strings.Join(odd, ", "))
 	}
 	if ok {
 		fmt.Println("trend gate: pass")

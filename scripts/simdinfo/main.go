@@ -1,0 +1,31 @@
+// Command simdinfo prints this machine's SIMD dispatch state — GOAMD64
+// build level, detected CPU features and which kernel variants the process
+// bound — as a single-line JSON object. scripts/bench.sh embeds it in the
+// _meta block of every BENCH_<n>.json so a snapshot records not just the
+// numbers but the kernel configuration that produced them.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/greenhpc/actor/internal/ann"
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/simd"
+)
+
+func main() {
+	f := simd.Detect()
+	out := map[string]any{
+		"goamd64":      simd.GoAMD64(),
+		"features":     f.String(),
+		"simd_enabled": simd.Enabled(),
+		"ann_kernel":   ann.KernelVariant(),
+		"lane_kernel":  machine.LaneKernelVariant(),
+	}
+	if err := json.NewEncoder(os.Stdout).Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
