@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate fmt vet ci clean
+.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ trend:
 ## the intentional-slowdown escape hatch).
 trend-gate:
 	$(GO) run scripts/bench_trend.go -gate
+
+## dist-e2e: full distributed-evaluation check — 3 actord workers +
+## actorctl under fault injection (incl. a mid-run worker kill); fails
+## unless the merged output is byte-identical to the single-process run.
+dist-e2e:
+	scripts/dist_e2e.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -4,13 +4,16 @@
 // topology descriptor rides inside the bank), and serves:
 //
 //	GET  /healthz     liveness probe
+//	GET  /readyz      readiness probe (503 while loading, draining or saturated)
 //	GET  /v1/bank     bank metadata (topology, configs, event sets)
 //	POST /v1/predict  observed rates → ranked configurations
 //	POST /v1/sweep    benchmark phases → per-placement modelled responses
+//	POST /v1/eval     one shard of a distributed sweep (see cmd/actorctl)
 //
 // Concurrent sweep requests are micro-batched into shared phase-sweep
 // calls over the engine's sharded memo. See docs/SERVING.md for a
-// train → save → serve → curl walkthrough.
+// train → save → serve → curl walkthrough and the distributed-evaluation
+// quickstart.
 //
 // Usage:
 //
@@ -25,16 +28,62 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/greenhpc/actor/pkg/actor"
 )
 
+// swapHandler lets the listener come up before the bank has loaded: until
+// the real server is swapped in, /healthz answers alive and everything
+// else answers 503 "loading", so orchestrators (and the dist
+// coordinator's health state machine) can tell a slow start from a dead
+// process.
+type swapHandler struct {
+	h atomic.Pointer[http.Handler]
+}
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	(*s.h.Load()).ServeHTTP(w, r)
+}
+
+func loadingHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && r.Method == http.MethodGet {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"loading"}`)
+	})
+}
+
 func main() {
 	f := actor.BindFlags(flag.CommandLine, actor.FlagsBank)
 	addr := flag.String("addr", ":7690", "listen address")
 	flag.Parse()
+
+	var swap swapHandler
+	loading := loadingHandler()
+	swap.h.Store(&loading)
+
+	// Server-side timeouts bound every connection: a client that stalls
+	// mid-headers, trickles a body or never reads its response cannot wedge
+	// a serving goroutine forever. Request bodies are additionally capped by
+	// the handlers themselves (http.MaxBytesReader).
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           &swap,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
 
 	bank, err := f.LoadBank()
 	if err != nil {
@@ -50,24 +99,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer srv.Close()
+	var ready http.Handler = srv
+	swap.h.Store(&ready)
 
 	meta := bank.Meta()
 	fmt.Fprintf(os.Stderr, "actord: serving %s bank (%d event sets, %d configs, topology %q) on %s\n",
 		meta.Kind, len(meta.EventSets), len(meta.Configs), meta.TopologyName, *addr)
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
+		// Graceful drain: readiness flips to 503 first so health-checking
+		// clients stop routing here, then in-flight requests get a grace
+		// window before the listener and the sweep dispatcher go away.
+		srv.BeginDrain()
 		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(shCtx)
+		srv.Close()
 	}()
-	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+	<-drained
 }
 
 func fatal(err error) {

@@ -29,6 +29,16 @@
 //	go run ./cmd/actor-train -fast -bank models/bank.json
 //	go run ./cmd/actord -bank models/bank.json
 //
+// Whole-config-space evaluation shards across a fleet of actord workers:
+// cmd/actorctl partitions the (benchmark × phase) workload, fans shards
+// out over POST /v1/eval with retries, backoff and straggler hedging
+// (internal/dist), and merges results in canonical shard order, so the
+// distributed run is byte-identical to the single-process run under any
+// failure schedule — worker deaths included — degrading all the way to
+// in-process evaluation when every worker is gone. See the "Distributed
+// evaluation" section of docs/SERVING.md and internal/dist/faultinject
+// for the fault-injection harness that tests exactly that.
+//
 // Topology descriptors follow the grammar of topology.ParseDesc —
 // "count x groupSize [:class]" terms joined by "+", where a class is
 // "big", "little", or an inline "name(freqMult,cpiMult[,smtWidth])"

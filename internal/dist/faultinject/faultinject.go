@@ -1,0 +1,220 @@
+// Package faultinject wraps an http.RoundTripper with a deterministic
+// fault schedule: dropped connections, injected latency, synthetic 5xx
+// responses, truncated bodies and mid-run worker kills. It exists so the
+// dist coordinator's failure handling is tested against every failure
+// mode it claims to survive — the property tests assert the merged sweep
+// stays bit-identical to the in-process run under every schedule — and so
+// the same schedules can be switched on from the environment
+// (ACTOR_FAULTS) for end-to-end runs without recompiling.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/greenhpc/actor/internal/parallel"
+)
+
+// Schedule describes which faults to inject and how often. Probabilities
+// are in [0,1] and are evaluated independently per request from a seeded
+// stream, so a given (Schedule, request order) replays the same faults.
+type Schedule struct {
+	// Drop is the probability a request never reaches the server (the
+	// client sees a transport error).
+	Drop float64
+	// Delay is the probability a request is held for DelayFor before being
+	// forwarded (straggler injection; triggers hedging).
+	Delay    float64
+	DelayFor time.Duration
+	// Err500 is the probability the client receives a synthetic 500
+	// without the request reaching the server.
+	Err500 float64
+	// Truncate is the probability a response body is cut in half mid-byte
+	// (the client sees corrupt JSON).
+	Truncate float64
+	// KillURL, when non-empty, marks the worker whose URL prefix matches
+	// as killed after KillAfter requests have been issued to it: every
+	// later request errors, simulating a worker dying mid-run.
+	KillURL   string
+	KillAfter int
+	// Seed drives the fault stream (0 means 1).
+	Seed int64
+}
+
+// Transport injects the schedule's faults around a base RoundTripper.
+type Transport struct {
+	base http.RoundTripper
+	s    Schedule
+
+	mu        sync.Mutex
+	rng       interface{ Float64() float64 }
+	killCount int
+
+	drops, delays, errs, truncs, kills int
+}
+
+// New wraps base (nil means http.DefaultTransport) with the schedule.
+func New(base http.RoundTripper, s Schedule) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Transport{base: base, s: s, rng: parallel.Rand(seed, "faultinject")}
+}
+
+// Counts reports how many faults of each kind were injected, for test
+// assertions that a schedule actually exercised its failure modes.
+func (t *Transport) Counts() (drops, delays, errs, truncs, kills int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.delays, t.errs, t.truncs, t.kills
+}
+
+type injectedError struct{ kind, target string }
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %s for %s", e.kind, e.target)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	url := req.URL.String()
+
+	t.mu.Lock()
+	// Health probes are exempt from the probabilistic faults (they share
+	// the worker's fate for kills): the schedules target the data path,
+	// and starving /readyz of all successes would only test total outage,
+	// which has its own explicit schedule.
+	probe := strings.HasSuffix(req.URL.Path, "/readyz")
+	killed := false
+	if t.s.KillURL != "" && strings.HasPrefix(url, t.s.KillURL) {
+		if !probe {
+			t.killCount++
+		}
+		if t.killCount > t.s.KillAfter {
+			killed = true
+			t.kills++
+		}
+	}
+	var drop, delay, err500, trunc bool
+	if !probe && !killed {
+		drop = t.rng.Float64() < t.s.Drop
+		delay = t.rng.Float64() < t.s.Delay
+		err500 = t.rng.Float64() < t.s.Err500
+		trunc = t.rng.Float64() < t.s.Truncate
+		switch {
+		case drop:
+			t.drops++
+		case err500:
+			t.errs++
+		}
+		if delay {
+			t.delays++
+		}
+		if trunc && !drop && !err500 {
+			t.truncs++
+		}
+	}
+	t.mu.Unlock()
+
+	if killed {
+		return nil, &injectedError{kind: "worker kill", target: url}
+	}
+	if delay {
+		d := t.s.DelayFor
+		if d <= 0 {
+			d = 50 * time.Millisecond
+		}
+		select {
+		case <-time.After(d):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if drop {
+		return nil, &injectedError{kind: "connection drop", target: url}
+	}
+	if err500 {
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("faultinject: injected 500\n")),
+			Request: req,
+		}, nil
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || !trunc {
+		return resp, err
+	}
+	// Truncation: read the real body, hand back only the first half.
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	cut := data[:len(data)/2]
+	resp.Body = io.NopCloser(bytes.NewReader(cut))
+	resp.ContentLength = int64(len(cut))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(cut)))
+	return resp, nil
+}
+
+// FromEnv parses the ACTOR_FAULTS environment value into a schedule and
+// wraps base when it is non-empty. The grammar is comma-separated
+// key=value pairs:
+//
+//	drop=0.2,delay=0.3,delayfor=20ms,err500=0.1,truncate=0.1,seed=7,kill=http://host:port@5
+//
+// An empty value returns base unchanged; a malformed value is an error (a
+// fault schedule that silently fails to parse would "pass" every test).
+func FromEnv(base http.RoundTripper, value string) (http.RoundTripper, error) {
+	if value == "" {
+		return base, nil
+	}
+	var s Schedule
+	for _, field := range strings.Split(value, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "drop":
+			s.Drop, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			s.Delay, err = strconv.ParseFloat(val, 64)
+		case "delayfor":
+			s.DelayFor, err = time.ParseDuration(val)
+		case "err500":
+			s.Err500, err = strconv.ParseFloat(val, 64)
+		case "truncate":
+			s.Truncate, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "kill":
+			target, after, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("faultinject: kill wants url@requestCount, got %q", val)
+			}
+			s.KillURL = target
+			s.KillAfter, err = strconv.Atoi(after)
+		default:
+			return nil, fmt.Errorf("faultinject: unknown fault %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: parsing %s: %w", key, err)
+		}
+	}
+	return New(base, s), nil
+}

@@ -1,0 +1,143 @@
+package faultinject
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromEnv(t *testing.T) {
+	if tr, err := FromEnv(http.DefaultTransport, ""); err != nil || tr != http.DefaultTransport {
+		t.Fatalf("empty value should return base unchanged (err %v)", err)
+	}
+	tr, err := FromEnv(nil, "drop=0.25,delay=0.5,delayfor=20ms,err500=0.1,truncate=0.2,seed=9,kill=http://h:1@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := tr.(*Transport)
+	if !ok {
+		t.Fatalf("FromEnv returned %T", tr)
+	}
+	want := Schedule{Drop: 0.25, Delay: 0.5, DelayFor: 20 * time.Millisecond, Err500: 0.1,
+		Truncate: 0.2, Seed: 9, KillURL: "http://h:1", KillAfter: 4}
+	if ft.s != want {
+		t.Errorf("parsed schedule %+v, want %+v", ft.s, want)
+	}
+	for _, bad := range []string{"drop", "drop=x", "nope=1", "kill=hostonly", "delayfor=5"} {
+		if _, err := FromEnv(nil, bad); err == nil {
+			t.Errorf("FromEnv(%q) should fail", bad)
+		}
+	}
+}
+
+func TestInjectedFaults(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, `{"answer":"a perfectly well-formed body"}`)
+	}))
+	defer ts.Close()
+
+	t.Run("drop-all", func(t *testing.T) {
+		c := &http.Client{Transport: New(nil, Schedule{Drop: 1, Seed: 3})}
+		if _, err := c.Get(ts.URL); err == nil || !strings.Contains(err.Error(), "connection drop") {
+			t.Fatalf("want injected drop, got %v", err)
+		}
+	})
+	t.Run("err500-all", func(t *testing.T) {
+		c := &http.Client{Transport: New(nil, Schedule{Err500: 1, Seed: 3})}
+		before := served
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("status %d, want 500", resp.StatusCode)
+		}
+		if served != before {
+			t.Error("synthetic 500 should not reach the server")
+		}
+	})
+	t.Run("truncate-all", func(t *testing.T) {
+		c := &http.Client{Transport: New(nil, Schedule{Truncate: 1, Seed: 3})}
+		resp, err := c.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != len(`{"answer":"a perfectly well-formed body"}`)/2 {
+			t.Fatalf("body not halved: %d bytes %q", len(data), data)
+		}
+	})
+	t.Run("kill-after", func(t *testing.T) {
+		tr := New(nil, Schedule{KillURL: ts.URL, KillAfter: 2, Seed: 3})
+		c := &http.Client{Transport: tr}
+		for i := 0; i < 2; i++ {
+			resp, err := c.Get(ts.URL)
+			if err != nil {
+				t.Fatalf("request %d before the kill threshold failed: %v", i, err)
+			}
+			resp.Body.Close()
+		}
+		if _, err := c.Get(ts.URL); err == nil || !strings.Contains(err.Error(), "worker kill") {
+			t.Fatalf("want injected kill, got %v", err)
+		}
+		// Probes share the worker's fate.
+		if _, err := c.Get(ts.URL + "/readyz"); err == nil || !strings.Contains(err.Error(), "worker kill") {
+			t.Fatalf("probe to killed worker should fail, got %v", err)
+		}
+		if _, _, _, _, kills := tr.Counts(); kills != 2 {
+			t.Errorf("kills = %d, want 2", kills)
+		}
+	})
+	t.Run("probes-exempt-from-probabilistic-faults", func(t *testing.T) {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") })
+		ps := httptest.NewServer(mux)
+		defer ps.Close()
+		c := &http.Client{Transport: New(nil, Schedule{Drop: 1, Err500: 1, Truncate: 1, Seed: 3})}
+		resp, err := c.Get(ps.URL + "/readyz")
+		if err != nil {
+			t.Fatalf("probe should bypass probabilistic faults: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("probe status %d", resp.StatusCode)
+		}
+	})
+}
+
+// TestDeterministicStream: the same schedule replays the same fault
+// decisions for the same request sequence.
+func TestDeterministicStream(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	run := func() []bool {
+		c := &http.Client{Transport: New(nil, Schedule{Drop: 0.5, Seed: 42})}
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			resp, err := c.Get(ts.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream diverged at request %d", i)
+		}
+	}
+}

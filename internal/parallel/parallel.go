@@ -11,6 +11,7 @@
 package parallel
 
 import (
+	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -91,6 +92,15 @@ func FirstError(errs []error) error {
 		}
 	}
 	return nil
+}
+
+// Rand returns a private RNG seeded with SeedFor(base, key): the same
+// (base, key) pair always yields the same stream, so per-task randomness
+// (noise, retry jitter, fault schedules) is reproducible and independent of
+// execution order. Each call returns a fresh generator; they are not safe
+// for concurrent use by multiple goroutines.
+func Rand(base int64, key string) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(base, key)))
 }
 
 // SeedFor derives a per-task RNG seed from a base seed and a stable task

@@ -97,3 +97,16 @@ func TestSeedForStableAndDistinct(t *testing.T) {
 		t.Fatal("base seed ignored")
 	}
 }
+
+func TestRandReproducibleStreams(t *testing.T) {
+	a, b := Rand(42, "dist-shard-3"), Rand(42, "dist-shard-3")
+	for i := 0; i < 16; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same (base, key) must yield the same stream")
+		}
+	}
+	if Rand(42, "dist-shard-3").Int63() == Rand(42, "dist-shard-4").Int63() &&
+		Rand(42, "dist-shard-3").Float64() == Rand(42, "dist-shard-4").Float64() {
+		t.Fatal("different keys yielded an identical stream prefix")
+	}
+}

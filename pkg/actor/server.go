@@ -3,26 +3,36 @@ package actor
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
+
+// maxRequestBody caps every POST body the server decodes. A stalled or
+// unbounded body can otherwise pin a serving goroutine for the connection
+// lifetime; 1 MiB is orders of magnitude above any legitimate payload.
+const maxRequestBody = 1 << 20
 
 // Server serves a trained bank over HTTP JSON — the online half of the
 // paper run as a service. Endpoints:
 //
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe (process is up)
+//	GET  /readyz      readiness probe (willing to take traffic; 503 while
+//	                  draining or while the sweep dispatcher is saturated)
 //	GET  /v1/bank     bank metadata (topology, configs, event sets)
 //	POST /v1/predict  observed rates (+ optional phase label) → ranked configs
 //	POST /v1/sweep    benchmark (+ optional phases) → per-placement responses
+//	POST /v1/eval     one shard of a distributed sweep → deterministic rows
 //
 // Predictions run directly on the bank (steady-state allocation-free).
 // Sweeps funnel through a single dispatcher goroutine that micro-batches
 // concurrent requests: all requests queued at dispatch time are drained,
 // deduplicated, executed back-to-back over the engine's shared sharded
 // phase memo (repeat sweeps are memo hits), and fanned back out. Create
-// with NewServer; Close releases the dispatcher.
+// with NewServer; Close drains the dispatcher and releases it.
 type Server struct {
 	eng  *Engine
 	bank *Bank
@@ -30,6 +40,16 @@ type Server struct {
 
 	jobs chan *sweepJob
 	stop chan struct{}
+	// done is closed when the dispatcher goroutine has exited; Close waits
+	// for it so no micro-batch is mid-flight after Close returns.
+	done chan struct{}
+
+	// draining flips readiness to 503 ahead of shutdown (BeginDrain) so
+	// health-checking clients stop routing new work here while in-flight
+	// requests finish.
+	draining atomic.Bool
+
+	evals *evalCache
 
 	closeOnce sync.Once
 }
@@ -55,16 +75,20 @@ func NewServer(eng *Engine) (*Server, error) {
 		return nil, fmt.Errorf("actor: serving needs a bank attached to the engine")
 	}
 	s := &Server{
-		eng:  eng,
-		bank: bank,
-		mux:  http.NewServeMux(),
-		jobs: make(chan *sweepJob, 64),
-		stop: make(chan struct{}),
+		eng:   eng,
+		bank:  bank,
+		mux:   http.NewServeMux(),
+		jobs:  make(chan *sweepJob, 64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		evals: newEvalCache(256),
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/bank", s.handleBank)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/eval", s.handleEval)
 	go s.dispatch()
 	return s, nil
 }
@@ -74,16 +98,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the sweep dispatcher. In-flight requests receive errors;
+// BeginDrain marks the server not-ready (readyz turns 503) without
+// stopping it: in-flight and even new requests still complete, but
+// health-checking clients — the dist coordinator, a load balancer — stop
+// sending new work. Call it ahead of http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Close stops the sweep dispatcher and waits for it to finish the batch it
+// is executing, then fails every sweep still queued with a
+// server-closing error (their handlers answer 503 — never a hang, never a
+// send on a closed channel). Safe to call concurrently and repeatedly;
 // the Server must not be used afterwards.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.stop)
+		<-s.done
+		// The dispatcher is gone; drain jobs that raced into the queue so
+		// their waiters get a definitive reply instead of relying solely on
+		// the stop select.
+		for {
+			select {
+			case j := <-s.jobs:
+				j.reply <- sweepReply{err: errServerClosing}
+			default:
+				return
+			}
+		}
+	})
 }
+
+var errServerClosing = fmt.Errorf("server closing")
 
 // dispatch is the sweep micro-batcher: it blocks for one job, greedily
 // drains everything else already queued, deduplicates identical requests,
 // executes each distinct sweep once and replies to every waiter.
 func (s *Server) dispatch() {
+	defer close(s.done)
 	for {
 		var first *sweepJob
 		select {
@@ -167,6 +218,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyzSaturation is the queue depth (as a fraction of capacity) at which
+// the sweep dispatcher is considered saturated and readiness flips to 503:
+// the worker is alive but should not be handed more work.
+const readyzSaturation = 0.75
+
+// handleReadyz is the readiness probe, distinct from liveness: a 503 here
+// means "alive but do not route new work to me". Not-ready while draining
+// (BeginDrain/Close) and while the sweep dispatcher queue is saturated.
+// The dist coordinator's worker health state machine consumes this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	if float64(len(s.jobs)) >= readyzSaturation*float64(cap(s.jobs)) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 // BankInfo is the /v1/bank response: the bank header plus the serving
 // platform's identity.
 type BankInfo struct {
@@ -208,10 +284,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req PredictRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad payload: %v", err)
+		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
 		return
 	}
 	if len(req.Rates) == 0 {
@@ -241,10 +317,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SweepRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad payload: %v", err)
+		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
 		return
 	}
 	if req.Bench == "" {
@@ -264,7 +340,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	select {
 	case rep := <-job.reply:
 		if rep.err != nil {
-			writeError(w, http.StatusBadRequest, "%v", rep.err)
+			code := http.StatusBadRequest
+			if rep.err == errServerClosing || rep.err == context.Canceled {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "%v", rep.err)
 			return
 		}
 		writeJSON(w, http.StatusOK, SweepResponse{Sweeps: rep.sweeps})
@@ -273,4 +353,63 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case <-r.Context().Done():
 		writeError(w, http.StatusServiceUnavailable, "request cancelled")
 	}
+}
+
+// badPayloadStatus maps a decode error to its HTTP status: 413 when the
+// MaxBytesReader tripped, 400 otherwise.
+func badPayloadStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// handleEval evaluates one shard of a distributed sweep (see EvalRequest).
+// Idempotent on re-delivery: the shard fingerprint keys a bounded result
+// cache, and results are deterministic regardless, so a retried or hedged
+// delivery always observes identical rows. Shards for a different platform
+// identity (topology/seed/bank version) are rejected with 409 so a
+// misconfigured coordinator fails loudly instead of merging rows computed
+// on the wrong machine.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req EvalRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+		return
+	}
+	if err := s.validateEval(&req); err != nil {
+		code := http.StatusConflict
+		if strings.HasPrefix(err.Error(), "bad payload") {
+			code = http.StatusBadRequest
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	fp := req.Shard.Fingerprint
+	if sweeps, ok := s.evals.get(fp); ok {
+		writeJSON(w, http.StatusOK, EvalResponse{Fingerprint: fp, Sweeps: sweeps})
+		return
+	}
+	sweeps := make([]PhaseSweep, 0, len(req.Units))
+	for _, u := range req.Units {
+		got, err := s.eng.Sweep(r.Context(), u)
+		if err != nil {
+			code := http.StatusBadRequest
+			if r.Context().Err() != nil {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
+		sweeps = append(sweeps, got...)
+	}
+	s.evals.put(fp, sweeps)
+	writeJSON(w, http.StatusOK, EvalResponse{Fingerprint: fp, Sweeps: sweeps})
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end distributed-evaluation check (make dist-e2e; CI runs it too):
+# build the binaries, train a fast bank, start 3 actord workers, then run
+# actorctl twice — once in-process (the reference) and once distributed
+# with fault injection turned on (drops, 5xxs, truncated bodies, one
+# worker's transport killed mid-run) while a second worker process is
+# kill -9ed under it — and assert the merged outputs are byte-identical.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+$GO build -o "$workdir/bin/" ./cmd/actor-train ./cmd/actord ./cmd/actorctl
+
+echo "== training a fast MLR bank"
+"$workdir/bin/actor-train" -fast -mlr -bank "$workdir/bank.json" >/dev/null
+
+ports=(7741 7742 7743)
+for port in "${ports[@]}"; do
+  "$workdir/bin/actord" -bank "$workdir/bank.json" -addr "127.0.0.1:$port" 2>"$workdir/actord-$port.log" &
+  pids+=($!)
+done
+
+echo "== waiting for workers to become ready"
+for port in "${ports[@]}"; do
+  ok=""
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://127.0.0.1:$port/readyz" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+  done
+  if [ -z "$ok" ]; then
+    echo "FAIL: worker :$port never became ready"
+    cat "$workdir/actord-$port.log"
+    exit 1
+  fi
+done
+
+echo "== single-process reference run"
+"$workdir/bin/actorctl" -bank "$workdir/bank.json" -local -q -out "$workdir/local.json"
+
+echo "== distributed run under fault injection + worker kill"
+workers="http://127.0.0.1:7741,http://127.0.0.1:7742,http://127.0.0.1:7743"
+# The schedule injects drops/5xxs/truncations everywhere, kills worker
+# :7742's transport after its 3rd data request, and delays ~40% of
+# requests so the run lasts long enough to kill a real process under it.
+ACTOR_FAULTS="drop=0.1,err500=0.1,truncate=0.1,delay=0.4,delayfor=150ms,seed=7,kill=http://127.0.0.1:7742@3" \
+  "$workdir/bin/actorctl" -bank "$workdir/bank.json" -workers "$workers" \
+  -hedge 100ms -q -out "$workdir/dist.json" 2>"$workdir/actorctl.log" &
+ctl=$!
+sleep 1
+echo "== kill -9 worker :7743 mid-run"
+kill -9 "${pids[2]}" 2>/dev/null || true
+if ! wait "$ctl"; then
+  echo "FAIL: actorctl exited non-zero"
+  cat "$workdir/actorctl.log"
+  exit 1
+fi
+cat "$workdir/actorctl.log"
+
+echo "== comparing outputs"
+if ! cmp -s "$workdir/local.json" "$workdir/dist.json"; then
+  echo "FAIL: distributed output differs from the single-process run"
+  diff "$workdir/local.json" "$workdir/dist.json" | head -40
+  exit 1
+fi
+echo "PASS: distributed output is byte-identical to the single-process run"
