@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e fmt vet ci clean
+.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e load-smoke fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,12 @@ trend-gate:
 ## unless the merged output is byte-identical to the single-process run.
 dist-e2e:
 	scripts/dist_e2e.sh
+
+## load-smoke: fire a short seeded actorload trace at a real actord —
+## twice, memo off then on — asserting zero errors, sane throughput/p99
+## and byte-identical responses on replay (CI).
+load-smoke:
+	scripts/load_smoke.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,203 @@
+// Command actorload is the trace-driven open-loop load harness for actord:
+// it synthesizes a deterministic request trace (Poisson arrivals over a
+// diurnal rate curve, heavy-tailed bursts, Zipf-popular rate vectors, an
+// optional mid-run phase change — see internal/loadgen) and replays it
+// against /v1/predict over real HTTP, reporting achieved throughput and
+// HDR-style latency percentiles measured against each request's intended
+// send time, so server-side queueing is charged to the server rather than
+// silently stretching the arrival process.
+//
+// The same seed always produces the same trace, so two runs differ only by
+// server behaviour — which is what makes the emitted metrics gateable
+// (scripts/bench.sh embeds them into BENCH_<n>.json, and bench_trend -gate
+// fails the build when they regress).
+//
+// Usage:
+//
+//	actorload -addr http://127.0.0.1:7690 -duration 5s -rate 2000
+//	actorload -selfserve -duration 2s -rate 5000 -check -min-rps 100
+//
+// With -selfserve it trains a fast MLR bank, serves it from an in-process
+// actord handler on a loopback listener, and drives that — the zero-setup
+// mode CI's load-smoke job uses.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/greenhpc/actor/internal/loadgen"
+	"github.com/greenhpc/actor/pkg/actor"
+)
+
+type metrics struct {
+	ReqPerSec  float64 `json:"req_per_s"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	P999us     float64 `json:"p999_us"`
+	MaxUs      float64 `json:"max_us"`
+	Sent       int     `json:"sent"`
+	Errors     int     `json:"errors"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:7690", "actord base URL")
+	duration := flag.Duration("duration", 5*time.Second, "trace duration")
+	rate := flag.Float64("rate", 2000, "mean request rate (req/s)")
+	seed := flag.Int64("seed", 1, "trace seed (same seed, same trace)")
+	conns := flag.Int("conns", 8, "concurrent sender connections")
+	amp := flag.Float64("amp", 0.5, "diurnal rate amplitude (0 disables, 1 swings 0..2x)")
+	period := flag.Duration("period", 0, "diurnal period (0: one cycle over the whole trace)")
+	tail := flag.Float64("tail", 1.5, "Pareto shape for burst sizes (0 disables bursts)")
+	vectors := flag.Int("vectors", 32, "distinct rate-vector population (Zipf popularity)")
+	phaseChange := flag.Bool("phase-change", true, "relabel the second half of the trace with a new phase")
+	jsonOut := flag.String("json", "-", "write the metrics JSON here (- for stdout)")
+	selfserve := flag.Bool("selfserve", false, "train a fast bank and serve it in-process instead of targeting -addr")
+	check := flag.Bool("check", false, "after the run, replay each distinct request twice and fail unless responses are byte-identical")
+	p99Max := flag.Duration("p99-max", 0, "fail when p99 latency exceeds this (0: no gate)")
+	minRPS := flag.Float64("min-rps", 0, "fail when achieved throughput falls below this (0: no gate)")
+	flag.Parse()
+
+	if err := run(*addr, *duration, *rate, *seed, *conns, *amp, *period, *tail,
+		*vectors, *phaseChange, *jsonOut, *selfserve, *check, *p99Max, *minRPS); err != nil {
+		fmt.Fprintln(os.Stderr, "actorload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, duration time.Duration, rate float64, seed int64, conns int,
+	amp float64, period time.Duration, tail float64, vectors int, phaseChange bool,
+	jsonOut string, selfserve, check bool, p99Max time.Duration, minRPS float64) error {
+	ctx := context.Background()
+	var events []string
+
+	if selfserve {
+		fmt.Fprintln(os.Stderr, "training fast MLR bank for self-serve mode...")
+		eng, err := actor.New(actor.WithFast(), actor.WithRepetitions(1), actor.WithMLR())
+		if err != nil {
+			return err
+		}
+		bank, err := eng.Train(ctx)
+		if err != nil {
+			return err
+		}
+		srv, err := actor.NewServer(eng)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv}
+		go func() { _ = hs.Serve(ln) }()
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+		events = bank.Meta().EventSets[0]
+		fmt.Fprintln(os.Stderr, "serving on", addr)
+	} else {
+		var err error
+		events, err = fetchEvents(ctx, addr)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := loadgen.Config{
+		Seed:        seed,
+		Duration:    duration,
+		Rate:        rate,
+		Amp:         amp,
+		Period:      period,
+		TailAlpha:   tail,
+		Vectors:     vectors,
+		PhaseChange: phaseChange,
+		Events:      events,
+	}
+	trace := loadgen.Trace(cfg)
+	fmt.Fprintf(os.Stderr, "trace: %d requests over %v (seed %d, %d vectors)\n",
+		len(trace), duration, seed, vectors)
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: conns,
+		MaxConnsPerHost:     0,
+	}}
+	url := addr + "/v1/predict"
+	res, err := loadgen.Run(ctx, client, url, trace, conns)
+	if err != nil {
+		return err
+	}
+
+	m := metrics{
+		ReqPerSec:  res.ReqPerSec(),
+		P50us:      float64(res.Lat.Quantile(0.50)) / 1e3,
+		P99us:      float64(res.Lat.Quantile(0.99)) / 1e3,
+		P999us:     float64(res.Lat.Quantile(0.999)) / 1e3,
+		MaxUs:      float64(res.Lat.Max()) / 1e3,
+		Sent:       res.Sent,
+		Errors:     res.Errors,
+		ElapsedSec: res.Elapsed.Seconds(),
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	if jsonOut == "-" || jsonOut == "" {
+		fmt.Println(string(out))
+	} else if err := os.WriteFile(jsonOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%.0f req/s, p50 %.0fus p99 %.0fus p999 %.0fus max %.0fus, %d/%d errors\n",
+		m.ReqPerSec, m.P50us, m.P99us, m.P999us, m.MaxUs, m.Errors, m.Sent)
+
+	if check {
+		fmt.Fprintln(os.Stderr, "determinism check: replaying each distinct request twice...")
+		if err := loadgen.Check(ctx, client, url, trace); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "determinism check: responses byte-identical")
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Sent)
+	}
+	if p99Max > 0 && m.P99us > float64(p99Max)/1e3 {
+		return fmt.Errorf("p99 %.0fus exceeds gate %v", m.P99us, p99Max)
+	}
+	if minRPS > 0 && m.ReqPerSec < minRPS {
+		return fmt.Errorf("throughput %.0f req/s below gate %.0f", m.ReqPerSec, minRPS)
+	}
+	return nil
+}
+
+// fetchEvents asks the target's /v1/bank for the richest event set, so the
+// generated rate vectors carry exactly the mnemonics the bank consumes.
+func fetchEvents(ctx context.Context, addr string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/bank", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fetching %s/v1/bank: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s/v1/bank: status %d", addr, resp.StatusCode)
+	}
+	var info actor.BankInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	if len(info.Meta.EventSets) == 0 {
+		return nil, fmt.Errorf("bank reports no event sets")
+	}
+	return info.Meta.EventSets[0], nil
+}

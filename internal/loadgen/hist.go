@@ -1,0 +1,122 @@
+package loadgen
+
+import "math/bits"
+
+// Hist is an HDR-style latency histogram: one bucket per (log2 magnitude,
+// linear sub-position) pair, so recording is O(1), the footprint is fixed,
+// and any quantile is reported with bounded relative error instead of the
+// unbounded error a fixed-width histogram gives on heavy tails.
+//
+// Values below subBuckets are exact; above that each power-of-two range is
+// split into subBuckets linear sub-buckets, bounding the relative error of
+// any reported quantile at 1/subBuckets (~3%). Values are int64
+// nanoseconds; the layout covers the full positive range.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	min    int64
+	max    int64
+}
+
+const (
+	subBuckets  = 32 // per power-of-two range; bounds quantile error at ~3%
+	subBits     = 5  // log2(subBuckets)
+	histBuckets = 64 * subBuckets
+)
+
+// bucketOf maps a non-negative value to its bucket index.
+func bucketOf(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	// Normalize so v>>shift lands in [subBuckets, 2*subBuckets): the top
+	// subBits+1 significant bits pick the bucket.
+	shift := bits.Len64(uint64(v)) - (subBits + 1)
+	return subBuckets*shift + int(v>>uint(shift))
+}
+
+// bucketHigh is the largest value mapping to bucket i — the conservative
+// (upper-edge) representative Quantile reports.
+func bucketHigh(i int) int64 {
+	if i < 2*subBuckets {
+		return int64(i) // first two groups are exact
+	}
+	shift := i/subBuckets - 1
+	base := int64(subBuckets+i%subBuckets) << uint(shift)
+	return base + (1 << uint(shift)) - 1
+}
+
+// Add records one value. Negative values clamp to zero (a latency sample
+// can only go negative through clock steps; losing its sign is the least
+// surprising treatment).
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+}
+
+// Merge folds o into h. Each runner goroutine records into a private Hist;
+// the run merges them at the end, so recording needs no synchronization.
+func (h *Hist) Merge(o *Hist) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value (0 when empty).
+func (h *Hist) Min() int64 { return h.min }
+
+// Quantile returns an upper bound for the p-quantile (0 < p <= 1) of the
+// recorded values: the upper edge of the bucket holding the rank-⌈p·n⌉
+// value, clamped to the observed maximum. Zero when empty.
+func (h *Hist) Quantile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(h.n))
+	if float64(rank) < p*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

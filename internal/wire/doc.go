@@ -1,0 +1,24 @@
+// Package wire is the hand-rolled JSON codec under the actord serving fast
+// path. encoding/json is correct but pays reflection, per-call encoder
+// state and interface boxing on every request; at serving rates those
+// costs dominate the handler. This package replaces them with two small,
+// allocation-free building blocks that pkg/actor composes into per-type
+// codecs:
+//
+//   - Emitter: append-style JSON writing into a pooled buffer, producing
+//     output byte-identical to a json.Encoder configured with
+//     SetIndent("", " ") and default HTML escaping — the exact
+//     configuration the server has always used — including Go's
+//     shortest-round-trip float formatting and its exponent cleanup.
+//   - Scanner: an iterative decoder over a fully-read body that accepts
+//     exactly the inputs a json.Decoder with DisallowUnknownFields
+//     accepts for the server's flat wire types (case-folded keys,
+//     duplicate keys last-wins, null semantics, U+FFFD replacement of
+//     invalid UTF-8, single-value reads with trailing bytes ignored).
+//
+// Byte-identity and acceptance parity are not aspirations, they are the
+// contract: pkg/actor's property and fuzz tests compare every composed
+// codec against encoding/json, and the serving handlers fall back to
+// encoding/json whenever the Scanner rejects, so a codec disagreement can
+// cost the fast path but can never change a served byte.
+package wire

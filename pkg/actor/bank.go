@@ -94,6 +94,14 @@ func (b *Bank) Predict(ctx context.Context, rates Rates) ([]Prediction, error) {
 	if err != nil {
 		return nil, err
 	}
+	return b.predictPMU(pr)
+}
+
+// predictPMU is Predict past mnemonic resolution: rank every target
+// configuration for already-resolved event rates. The serving fast path
+// calls this directly with a pooled pmu.Rates it fills itself, skipping
+// the per-request map toPMU would build.
+func (b *Bank) predictPMU(pr pmu.Rates) ([]Prediction, error) {
 	pred := b.predictorFor(pr)
 	byConfig, err := pred.PredictIPC(pr)
 	if err != nil {

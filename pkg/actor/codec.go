@@ -1,0 +1,598 @@
+package actor
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/internal/wire"
+)
+
+// This file composes internal/wire's Emitter and Scanner into the server's
+// per-type codecs. Encoding is byte-identical to the json.Encoder
+// configuration writeJSON always used (SetIndent("", " "), HTML escaping,
+// trailing newline) — enforced by codec property and fuzz tests against
+// encoding/json. Decoding is two-tier: the scanner handles well-formed
+// requests without reflection, and anything it declines is re-decoded by
+// encoding/json over the same bytes (fallbackDecode), so rejected payloads
+// produce exactly the error text and status codes they always have.
+
+// headerJSONValue is the shared Content-Type value slice. Handlers assign
+// it into the header map directly: http.Header.Set allocates a fresh
+// []string per call, which is most of what's left on a memo-hit request.
+var headerJSONValue = []string{"application/json"}
+
+// writeBody writes a fully encoded JSON response body.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header()["Content-Type"] = headerJSONValue
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeWire encodes one response with build and writes it. On an encode
+// error (NaN in a float field) it writes the headers and no body, exactly
+// as json.Encoder.Encode did in writeJSON.
+func writeWire(w http.ResponseWriter, code int, build func(e *wire.Emitter)) {
+	e := wire.GetEmitter()
+	build(e)
+	body, err := e.Finish()
+	if err != nil {
+		w.Header()["Content-Type"] = headerJSONValue
+		w.WriteHeader(code)
+	} else {
+		writeBody(w, code, body)
+	}
+	wire.PutEmitter(e)
+}
+
+// encodeJSON renders build's document to a fresh byte slice (used for the
+// precomputed /v1/bank, health and readyz bodies).
+func encodeJSON(build func(e *wire.Emitter)) ([]byte, error) {
+	e := wire.GetEmitter()
+	defer wire.PutEmitter(e)
+	build(e)
+	body, err := e.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), body...), nil
+}
+
+func encodeError(e *wire.Emitter, msg string) {
+	e.BeginObject()
+	e.Key("error")
+	e.Str(msg)
+	e.EndObject()
+}
+
+func encodeStatus(e *wire.Emitter, status string) {
+	e.BeginObject()
+	e.Key("status")
+	e.Str(status)
+	e.EndObject()
+}
+
+func encodePrediction(e *wire.Emitter, p *Prediction) {
+	e.BeginObject()
+	e.Key("config")
+	e.Str(p.Config)
+	e.Key("ipc")
+	e.Float(p.IPC)
+	if p.Observed {
+		e.Key("observed")
+		e.Bool(true)
+	}
+	e.EndObject()
+}
+
+func encodePredictResponse(e *wire.Emitter, phase []byte, preds []Prediction) {
+	e.BeginObject()
+	if len(phase) > 0 {
+		e.Key("phase")
+		e.StrBytes(phase)
+	}
+	e.Key("best")
+	e.Str(preds[0].Config)
+	e.Key("predictions")
+	e.BeginArray()
+	for i := range preds {
+		encodePrediction(e, &preds[i])
+	}
+	e.EndArray()
+	e.EndObject()
+}
+
+func encodePhaseSweeps(e *wire.Emitter, sweeps []PhaseSweep) {
+	if sweeps == nil {
+		e.Null()
+		return
+	}
+	e.BeginArray()
+	for i := range sweeps {
+		ps := &sweeps[i]
+		e.BeginObject()
+		e.Key("bench")
+		e.Str(ps.Bench)
+		e.Key("phase")
+		e.Str(ps.Phase)
+		e.Key("rows")
+		if ps.Rows == nil {
+			e.Null()
+		} else {
+			e.BeginArray()
+			for j := range ps.Rows {
+				r := &ps.Rows[j]
+				e.BeginObject()
+				e.Key("config")
+				e.Str(r.Config)
+				e.Key("time_sec")
+				e.Float(r.TimeSec)
+				e.Key("ipc")
+				e.Float(r.AggIPC)
+				e.EndObject()
+			}
+			e.EndArray()
+		}
+		e.EndObject()
+	}
+	e.EndArray()
+}
+
+func encodeSweepResponse(e *wire.Emitter, sweeps []PhaseSweep) {
+	e.BeginObject()
+	e.Key("sweeps")
+	encodePhaseSweeps(e, sweeps)
+	e.EndObject()
+}
+
+func encodeEvalResponse(e *wire.Emitter, fingerprint string, sweeps []PhaseSweep) {
+	e.BeginObject()
+	e.Key("fingerprint")
+	e.Str(fingerprint)
+	e.Key("sweeps")
+	encodePhaseSweeps(e, sweeps)
+	e.EndObject()
+}
+
+func encodeStrings(e *wire.Emitter, ss []string) {
+	if ss == nil {
+		e.Null()
+		return
+	}
+	e.BeginArray()
+	for _, s := range ss {
+		e.Str(s)
+	}
+	e.EndArray()
+}
+
+func encodeBankInfo(e *wire.Emitter, info *BankInfo) {
+	e.BeginObject()
+	e.Key("meta")
+	m := &info.Meta
+	e.BeginObject()
+	e.Key("version")
+	e.Int(int64(m.Version))
+	e.Key("kind")
+	e.Str(string(m.Kind))
+	if m.Topology != "" {
+		e.Key("topology")
+		e.Str(m.Topology)
+	}
+	if m.TopologyName != "" {
+		e.Key("topology_name")
+		e.Str(m.TopologyName)
+	}
+	if m.Cores != 0 {
+		e.Key("cores")
+		e.Int(int64(m.Cores))
+	}
+	e.Key("seed")
+	e.Int(m.Seed)
+	if m.Folds != 0 {
+		e.Key("folds")
+		e.Int(int64(m.Folds))
+	}
+	e.Key("configs")
+	encodeStrings(e, m.Configs)
+	e.Key("sample_config")
+	e.Str(m.SampleConfig)
+	if len(m.EventSets) != 0 {
+		e.Key("event_sets")
+		e.BeginArray()
+		for _, set := range m.EventSets {
+			encodeStrings(e, set)
+		}
+		e.EndArray()
+	}
+	e.EndObject()
+	e.Key("benches")
+	encodeStrings(e, info.Benches)
+	if info.Topology != "" {
+		e.Key("topology_desc")
+		e.Str(info.Topology)
+	}
+	e.EndObject()
+}
+
+// --- request bodies ---
+
+// bodyPool holds POST body read buffers.
+var bodyPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// readBody slurps r.Body into buf (reusing its capacity), stopping one
+// byte past maxRequestBody: that is enough to distinguish "the first JSON
+// value completes within the cap" (accepted, trailing bytes ignored) from
+// "needs more" (413), which is exactly http.MaxBytesReader's behaviour as
+// observed through a json.Decoder.
+func readBody(body io.Reader, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+		if len(buf) > maxRequestBody {
+			return buf, nil
+		}
+	}
+}
+
+// fallbackDecode re-decodes body exactly the way the handlers always did —
+// json.Decoder over a MaxBytesReader with DisallowUnknownFields — so every
+// payload the fast scanner declines gets the historical error text and
+// status (400 or 413 via badPayloadStatus).
+func fallbackDecode(w http.ResponseWriter, body []byte, v any) error {
+	rd := http.MaxBytesReader(w, io.NopCloser(bytes.NewReader(body)), maxRequestBody)
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// decodeSweepFields scans one SweepRequest object body (after its opening
+// brace has been consumed) into req. Shared by /v1/sweep and the unit
+// elements of /v1/eval.
+func decodeSweepFields(sc *wire.Scanner, req *SweepRequest) error {
+	seenPhases := false
+	for {
+		key, ok, err := sc.ObjKey()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		switch {
+		case wire.FoldEq(key, "bench"):
+			if sc.TryNull() {
+				continue // null into a string field is a no-op
+			}
+			b, err := sc.Str()
+			if err != nil {
+				return err
+			}
+			req.Bench = string(b)
+		case wire.FoldEq(key, "phases"):
+			if seenPhases {
+				// A re-keyed array merges element-wise into the previous
+				// decode under encoding/json (existing elements are reused,
+				// not zeroed); the fallback owns that corner.
+				return wire.ErrReject
+			}
+			seenPhases = true
+			isNull, err := sc.BeginArrayOrNull()
+			if err != nil {
+				return err
+			}
+			if isNull {
+				req.Phases = nil // null into a slice field stores nil
+				continue
+			}
+			phases := req.Phases[:0]
+			for {
+				more, err := sc.ArrayNext()
+				if err != nil {
+					return err
+				}
+				if !more {
+					break
+				}
+				if sc.TryNull() {
+					phases = append(phases, "") // null element appends the zero value
+					continue
+				}
+				p, err := sc.Str()
+				if err != nil {
+					return err
+				}
+				phases = append(phases, string(p))
+			}
+			req.Phases = phases
+		default:
+			return wire.ErrReject // unknown field; fallback phrases the 400
+		}
+	}
+}
+
+// decodeSweepRequest scans a whole /v1/sweep body.
+func decodeSweepRequest(sc *wire.Scanner, req *SweepRequest) error {
+	isNull, err := sc.BeginObjectOrNull()
+	if err != nil || isNull {
+		return err
+	}
+	return decodeSweepFields(sc, req)
+}
+
+// decodeEvalRequest scans a whole /v1/eval body.
+func decodeEvalRequest(sc *wire.Scanner, req *EvalRequest) error {
+	isNull, err := sc.BeginObjectOrNull()
+	if err != nil || isNull {
+		return err
+	}
+	seenUnits := false
+	for {
+		key, ok, err := sc.ObjKey()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		switch {
+		case wire.FoldEq(key, "topology"):
+			if sc.TryNull() {
+				continue
+			}
+			b, err := sc.Str()
+			if err != nil {
+				return err
+			}
+			req.Topology = string(b)
+		case wire.FoldEq(key, "seed"):
+			if sc.TryNull() {
+				continue
+			}
+			v, err := sc.Int()
+			if err != nil {
+				return err
+			}
+			req.Seed = v
+		case wire.FoldEq(key, "bank_version"):
+			if sc.TryNull() {
+				continue
+			}
+			v, err := sc.Int()
+			if err != nil {
+				return err
+			}
+			if int64(int(v)) != v {
+				return wire.ErrReject
+			}
+			req.BankVersion = int(v)
+		case wire.FoldEq(key, "shard"):
+			isNull, err := sc.BeginObjectOrNull()
+			if err != nil || isNull {
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if err := decodeShardFields(sc, &req.Shard); err != nil {
+				return err
+			}
+		case wire.FoldEq(key, "units"):
+			if seenUnits {
+				return wire.ErrReject // see decodeSweepFields on re-keyed arrays
+			}
+			seenUnits = true
+			isNull, err := sc.BeginArrayOrNull()
+			if err != nil {
+				return err
+			}
+			if isNull {
+				req.Units = nil
+				continue
+			}
+			units := req.Units[:0]
+			for {
+				more, err := sc.ArrayNext()
+				if err != nil {
+					return err
+				}
+				if !more {
+					break
+				}
+				var u SweepRequest
+				if sc.TryNull() {
+					units = append(units, u)
+					continue
+				}
+				isNull, err := sc.BeginObjectOrNull()
+				if err != nil {
+					return err
+				}
+				if !isNull {
+					if err := decodeSweepFields(sc, &u); err != nil {
+						return err
+					}
+				}
+				units = append(units, u)
+			}
+			req.Units = units
+		default:
+			return wire.ErrReject
+		}
+	}
+}
+
+func decodeShardFields(sc *wire.Scanner, shard *ShardSpec) error {
+	for {
+		key, ok, err := sc.ObjKey()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		switch {
+		case wire.FoldEq(key, "index"), wire.FoldEq(key, "total"):
+			if sc.TryNull() {
+				continue
+			}
+			v, err := sc.Int()
+			if err != nil {
+				return err
+			}
+			if int64(int(v)) != v {
+				return wire.ErrReject
+			}
+			if wire.FoldEq(key, "index") {
+				shard.Index = int(v)
+			} else {
+				shard.Total = int(v)
+			}
+		case wire.FoldEq(key, "fingerprint"):
+			if sc.TryNull() {
+				continue
+			}
+			b, err := sc.Str()
+			if err != nil {
+				return err
+			}
+			shard.Fingerprint = string(b)
+		default:
+			return wire.ErrReject
+		}
+	}
+}
+
+// --- predict fast path scratch ---
+
+// eventIDByName resolves a rate mnemonic to its internal event without
+// allocating: the map is built once, and m[string(b)] lookups don't copy.
+// "IPC" shares pmu.Instructions with the raw mnemonic, which is why the
+// fast path refuses requests naming the same event twice (see buildMemoKey).
+var eventIDByName = func() map[string]pmu.Event {
+	m := make(map[string]pmu.Event, pmu.NumEvents+1)
+	for e := pmu.Event(0); int(e) < pmu.NumEvents; e++ {
+		m[e.String()] = e
+	}
+	m["IPC"] = pmu.Instructions
+	return m
+}()
+
+// predictScratch is the pooled per-request state of the /v1/predict fast
+// path: the body buffer, the parsed rate vector as parallel arrays, the
+// memo key under construction, and a reusable pmu.Rates map for the miss
+// path. Name slices alias the body buffer or the scanner arena, so the
+// scratch is only valid while both are held.
+type predictScratch struct {
+	body  []byte
+	key   []byte
+	names [][]byte
+	ids   []pmu.Event
+	vals  []float64
+	pr    pmu.Rates
+}
+
+var predictScratchPool = sync.Pool{New: func() any {
+	return &predictScratch{
+		body: make([]byte, 0, 4096),
+		key:  make([]byte, 0, 256),
+		pr:   make(pmu.Rates, pmu.NumEvents),
+	}
+}}
+
+func getPredictScratch() *predictScratch {
+	sc := predictScratchPool.Get().(*predictScratch)
+	sc.names = sc.names[:0]
+	sc.ids = sc.ids[:0]
+	sc.vals = sc.vals[:0]
+	return sc
+}
+
+func putPredictScratch(sc *predictScratch) {
+	if cap(sc.body) > 1<<20 {
+		return
+	}
+	predictScratchPool.Put(sc)
+}
+
+// clearPairs resets the parsed rate vector (a "rates": null re-key).
+func (sc *predictScratch) clearPairs() {
+	sc.names = sc.names[:0]
+	sc.ids = sc.ids[:0]
+	sc.vals = sc.vals[:0]
+}
+
+// setPair records name=v with encoding/json map semantics: a repeated key
+// overwrites its previous value. The vectors are a dozen entries, so the
+// linear probe beats any map.
+func (sc *predictScratch) setPair(name []byte, id pmu.Event, v float64) {
+	for i, n := range sc.names {
+		if bytes.Equal(n, name) {
+			sc.vals[i] = v
+			return
+		}
+	}
+	sc.names = append(sc.names, name)
+	sc.ids = append(sc.ids, id)
+	sc.vals = append(sc.vals, v)
+}
+
+// pmuRates rebuilds the reusable pmu.Rates map from the parsed pairs.
+func (sc *predictScratch) pmuRates() pmu.Rates {
+	clear(sc.pr)
+	for i, id := range sc.ids {
+		sc.pr[id] = sc.vals[i]
+	}
+	return sc.pr
+}
+
+// buildMemoKey canonicalizes the request into the memo key: bank version,
+// pair count, (event id, float64 bits) pairs sorted by id, then the phase
+// bytes. The fixed-width prefix makes the layout unambiguous. Returns nil
+// when two mnemonics resolved to the same event ("IPC" plus the raw
+// instructions mnemonic): their merge order is map-iteration-dependent on
+// the stdlib path today, so those requests stay off the fast path
+// entirely rather than having the memo freeze one arbitrary outcome.
+func (sc *predictScratch) buildMemoKey(bankVersion int, phase []byte) []byte {
+	// Insertion-sort ids and vals together; names are done being useful.
+	ids, vals := sc.ids, sc.vals
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return nil
+		}
+	}
+	k := sc.key[:0]
+	k = append(k,
+		byte(bankVersion), byte(bankVersion>>8), byte(bankVersion>>16), byte(bankVersion>>24),
+		byte(len(ids)), byte(len(ids)>>8))
+	for i, id := range ids {
+		k = append(k, byte(id))
+		bits := math.Float64bits(vals[i])
+		k = append(k,
+			byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+			byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+	}
+	k = append(k, phase...)
+	sc.key = k
+	return k
+}

@@ -107,28 +107,30 @@ func (e *Engine) Workload() []SweepRequest {
 // Seed returns the seed the engine's platform was built with.
 func (e *Engine) Seed() int64 { return e.cfg.seed }
 
-// evalCache is the worker-side idempotency cache: fingerprint → evaluated
-// sweeps. Results are deterministic, so the cache only saves recomputation
-// on re-delivery; correctness never depends on a hit. Bounded FIFO.
+// evalCache is the worker-side idempotency cache: fingerprint → the fully
+// encoded /v1/eval response body, so a re-delivered or hedged shard costs
+// one Write instead of a re-encode. Results are deterministic, so the
+// cache only saves recomputation; correctness never depends on a hit.
+// Bounded FIFO.
 type evalCache struct {
 	mu    sync.Mutex
 	limit int
 	order []string
-	byFP  map[string][]PhaseSweep
+	byFP  map[string][]byte
 }
 
 func newEvalCache(limit int) *evalCache {
-	return &evalCache{limit: limit, byFP: make(map[string][]PhaseSweep, limit)}
+	return &evalCache{limit: limit, byFP: make(map[string][]byte, limit)}
 }
 
-func (c *evalCache) get(fp string) ([]PhaseSweep, bool) {
+func (c *evalCache) get(fp string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s, ok := c.byFP[fp]
 	return s, ok
 }
 
-func (c *evalCache) put(fp string, sweeps []PhaseSweep) {
+func (c *evalCache) put(fp string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.byFP[fp]; ok {
@@ -140,7 +142,7 @@ func (c *evalCache) put(fp string, sweeps []PhaseSweep) {
 		delete(c.byFP, oldest)
 	}
 	c.order = append(c.order, fp)
-	c.byFP[fp] = sweeps
+	c.byFP[fp] = body
 }
 
 // validateEval checks an EvalRequest against the serving platform; the

@@ -2,13 +2,16 @@ package actor
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"github.com/greenhpc/actor/internal/wire"
 )
 
 // maxRequestBody caps every POST body the server decodes. A stalled or
@@ -51,6 +54,15 @@ type Server struct {
 
 	evals *evalCache
 
+	// memo caches fully encoded /v1/predict responses by exact canonical
+	// request (nil when ACTOR_PREDICT_MEMO=off). bankVersion joins the memo
+	// key; bankBody/bankLen are the /v1/bank response, encoded once here
+	// because the bank is immutable for the server's lifetime.
+	memo        *predictMemo
+	bankVersion int
+	bankBody    []byte
+	bankLen     []string // precomputed Content-Length header value
+
 	closeOnce sync.Once
 }
 
@@ -75,14 +87,29 @@ func NewServer(eng *Engine) (*Server, error) {
 		return nil, fmt.Errorf("actor: serving needs a bank attached to the engine")
 	}
 	s := &Server{
-		eng:   eng,
-		bank:  bank,
-		mux:   http.NewServeMux(),
-		jobs:  make(chan *sweepJob, 64),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
-		evals: newEvalCache(256),
+		eng:         eng,
+		bank:        bank,
+		mux:         http.NewServeMux(),
+		jobs:        make(chan *sweepJob, 64),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+		evals:       newEvalCache(256),
+		bankVersion: bank.Meta().Version,
 	}
+	if os.Getenv("ACTOR_PREDICT_MEMO") != "off" {
+		s.memo = newPredictMemo()
+	}
+	info := BankInfo{
+		Meta:     bank.Meta(),
+		Benches:  eng.BenchNames(),
+		Topology: eng.TopologyDesc(),
+	}
+	body, err := encodeJSON(func(e *wire.Emitter) { encodeBankInfo(e, &info) })
+	if err != nil {
+		return nil, fmt.Errorf("actor: encoding bank info: %w", err)
+	}
+	s.bankBody = body
+	s.bankLen = []string{strconv.Itoa(len(body))}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/bank", s.handleBank)
@@ -93,8 +120,14 @@ func NewServer(eng *Engine) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The predict endpoint is routed with
+// one string compare instead of the mux's path cleaning and pattern match:
+// it is the only route whose request cost is counted in nanoseconds.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/predict" {
+		s.handlePredict(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -194,28 +227,52 @@ func (s *Server) dispatch() {
 	}
 }
 
+// errorResponse documents the error body shape; encodeError emits it.
 type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	_ = enc.Encode(v)
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	writeWire(w, code, func(e *wire.Emitter) { encodeError(e, msg) })
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// Responses that never vary are encoded once at init and served as cached
+// bytes: the health and readiness bodies, the method-mismatch errors, and
+// the fixed predict validation error.
+var (
+	statusOKBody        = mustEncodeStatus("ok")
+	statusReadyBody     = mustEncodeStatus("ready")
+	statusDrainingBody  = mustEncodeStatus("draining")
+	statusSaturatedBody = mustEncodeStatus("saturated")
+	errUseGETBody       = mustEncodeError("use GET")
+	errUsePOSTBody      = mustEncodeError("use POST")
+
+	errRatesRequiredBody = mustEncodeError(`bad payload: "rates" is required and must be non-empty`)
+)
+
+func mustEncodeStatus(status string) []byte {
+	b, err := encodeJSON(func(e *wire.Emitter) { encodeStatus(e, status) })
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func mustEncodeError(msg string) []byte {
+	b, err := encodeJSON(func(e *wire.Emitter) { encodeError(e, msg) })
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeBody(w, http.StatusMethodNotAllowed, errUseGETBody)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeBody(w, http.StatusOK, statusOKBody)
 }
 
 // readyzSaturation is the queue depth (as a fraction of capacity) at which
@@ -229,18 +286,18 @@ const readyzSaturation = 0.75
 // The dist coordinator's worker health state machine consumes this.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeBody(w, http.StatusMethodNotAllowed, errUseGETBody)
 		return
 	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeBody(w, http.StatusServiceUnavailable, statusDrainingBody)
 		return
 	}
 	if float64(len(s.jobs)) >= readyzSaturation*float64(cap(s.jobs)) {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+		writeBody(w, http.StatusServiceUnavailable, statusSaturatedBody)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	writeBody(w, http.StatusOK, statusReadyBody)
 }
 
 // BankInfo is the /v1/bank response: the bank header plus the serving
@@ -251,16 +308,19 @@ type BankInfo struct {
 	Topology string   `json:"topology_desc,omitempty"`
 }
 
+// handleBank serves the response encoded once at NewServer, with an
+// explicit Content-Length so even a bank too large for the response
+// buffer goes out framed instead of chunked.
 func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeBody(w, http.StatusMethodNotAllowed, errUseGETBody)
 		return
 	}
-	writeJSON(w, http.StatusOK, BankInfo{
-		Meta:     s.bank.Meta(),
-		Benches:  s.eng.BenchNames(),
-		Topology: s.eng.TopologyDesc(),
-	})
+	h := w.Header()
+	h["Content-Type"] = headerJSONValue
+	h["Content-Length"] = s.bankLen
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(s.bankBody)
 }
 
 // PredictRequest is the /v1/predict payload: the observed per-cycle event
@@ -278,20 +338,155 @@ type PredictResponse struct {
 	Predictions []Prediction `json:"predictions"`
 }
 
+// handlePredict is the serving hot path: pooled body read, wire-codec
+// parse, memo probe, and a single response Write — allocation-free end to
+// end on a memo hit. Anything the fast path declines (malformed JSON,
+// unknown fields or mnemonics, oversize bodies, duplicate event ids)
+// replays through slowPredict, the historical stdlib handler, so observable
+// behaviour — every byte, every status — is unchanged.
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeBody(w, http.StatusMethodNotAllowed, errUsePOSTBody)
 		return
 	}
+	sc := getPredictScratch()
+	body, err := readBody(r.Body, sc.body)
+	sc.body = body
+	if err != nil {
+		putPredictScratch(sc)
+		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+		return
+	}
+	scan := wire.GetScanner(body)
+	done := s.tryFastPredict(w, r, scan, sc)
+	wire.PutScanner(scan)
+	if !done {
+		s.slowPredict(w, r, body)
+	}
+	putPredictScratch(sc)
+}
+
+// tryFastPredict parses, predicts and responds through the wire codec.
+// It reports false — having written nothing — when the request belongs on
+// the stdlib path instead.
+func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wire.Scanner, sc *predictScratch) bool {
+	var phase []byte
+	isNull, err := scan.BeginObjectOrNull()
+	if err != nil {
+		return false
+	}
+	if !isNull {
+		for {
+			key, ok, err := scan.ObjKey()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			switch {
+			case wire.FoldEq(key, "phase"):
+				if scan.TryNull() {
+					continue // null into a string field is a no-op
+				}
+				b, err := scan.Str()
+				if err != nil {
+					return false
+				}
+				phase = b
+			case wire.FoldEq(key, "rates"):
+				mNull, err := scan.BeginObjectOrNull()
+				if err != nil {
+					return false
+				}
+				if mNull {
+					sc.clearPairs() // null stores a nil map
+					continue
+				}
+				// A repeated "rates" key merges into the existing map, like
+				// encoding/json decoding an object into a non-nil map — so
+				// pairs accumulate across keys and setPair overwrites.
+				for {
+					name, mok, err := scan.ObjKey()
+					if err != nil {
+						return false
+					}
+					if !mok {
+						break
+					}
+					id, known := eventIDByName[string(name)]
+					if !known {
+						return false // unknown mnemonic: fallback owns the error
+					}
+					var v float64
+					if !scan.TryNull() {
+						if v, err = scan.Float(); err != nil {
+							return false
+						}
+					}
+					sc.setPair(name, id, v)
+				}
+			default:
+				return false // unknown field: fallback phrases the 400
+			}
+		}
+	}
+	if scan.Pos() > maxRequestBody {
+		return false // first value needs more than the cap: fallback serves the 413
+	}
+	if len(sc.ids) == 0 {
+		writeBody(w, http.StatusBadRequest, errRatesRequiredBody)
+		return true
+	}
+	if err := r.Context().Err(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return true
+	}
+	key := sc.buildMemoKey(s.bankVersion, phase)
+	if key == nil {
+		// Two mnemonics resolved to one event: merge order is
+		// map-iteration-dependent on the stdlib path, and the memo must not
+		// freeze one arbitrary outcome.
+		return false
+	}
+	if s.memo != nil {
+		if resp := s.memo.get(key); resp != nil {
+			writeBody(w, http.StatusOK, resp)
+			return true
+		}
+	}
+	ranked, err := s.bank.predictPMU(sc.pmuRates())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return true
+	}
+	e := wire.GetEmitter()
+	encodePredictResponse(e, phase, ranked)
+	respBody, err := e.Finish()
+	if err != nil {
+		// NaN in a prediction: headers then no body, as json.Encoder did.
+		w.Header()["Content-Type"] = headerJSONValue
+		w.WriteHeader(http.StatusOK)
+	} else {
+		if s.memo != nil {
+			s.memo.put(key, respBody)
+		}
+		writeBody(w, http.StatusOK, respBody)
+	}
+	wire.PutEmitter(e)
+	return true
+}
+
+// slowPredict is the historical handler over the already-read body:
+// stdlib decode for exact error text, bank.Predict, wire-encoded success.
+func (s *Server) slowPredict(w http.ResponseWriter, r *http.Request, body []byte) {
 	var req PredictRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := fallbackDecode(w, body, &req); err != nil {
 		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
 		return
 	}
 	if len(req.Rates) == 0 {
-		writeError(w, http.StatusBadRequest, `bad payload: "rates" is required and must be non-empty`)
+		writeBody(w, http.StatusBadRequest, errRatesRequiredBody)
 		return
 	}
 	ranked, err := s.bank.Predict(r.Context(), req.Rates)
@@ -299,10 +494,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
-		Phase:       req.Phase,
-		Best:        ranked[0].Config,
-		Predictions: ranked,
+	writeWire(w, http.StatusOK, func(e *wire.Emitter) {
+		encodePredictResponse(e, []byte(req.Phase), ranked)
 	})
 }
 
@@ -311,16 +504,48 @@ type SweepResponse struct {
 	Sweeps []PhaseSweep `json:"sweeps"`
 }
 
+// decodePOSTBody reads and decodes one POST body through the wire scanner
+// with stdlib fallback. decode runs the scanner into v; when it declines
+// (or the value overruns the cap), v is reset to zero and re-decoded by
+// encoding/json for the historical behaviour. Returns false with the
+// error response already written.
+func decodePOSTBody(w http.ResponseWriter, r *http.Request, v any, decode func(*wire.Scanner) error, reset func()) bool {
+	bufp := bodyPool.Get().(*[]byte)
+	body, err := readBody(r.Body, *bufp)
+	*bufp = body
+	defer func() {
+		if cap(*bufp) <= 1<<20 {
+			bodyPool.Put(bufp)
+		}
+	}()
+	if err != nil {
+		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+		return false
+	}
+	scan := wire.GetScanner(body)
+	derr := decode(scan)
+	pos := scan.Pos()
+	wire.PutScanner(scan)
+	if derr != nil || pos > maxRequestBody {
+		reset()
+		if err := fallbackDecode(w, body, v); err != nil {
+			writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeBody(w, http.StatusMethodNotAllowed, errUsePOSTBody)
 		return
 	}
 	var req SweepRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+	ok := decodePOSTBody(w, r, &req,
+		func(scan *wire.Scanner) error { return decodeSweepRequest(scan, &req) },
+		func() { req = SweepRequest{} })
+	if !ok {
 		return
 	}
 	if req.Bench == "" {
@@ -347,7 +572,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			writeError(w, code, "%v", rep.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, SweepResponse{Sweeps: rep.sweeps})
+		writeWire(w, http.StatusOK, func(e *wire.Emitter) { encodeSweepResponse(e, rep.sweeps) })
 	case <-s.stop:
 		writeError(w, http.StatusServiceUnavailable, "server closing")
 	case <-r.Context().Done():
@@ -374,14 +599,14 @@ func badPayloadStatus(err error) int {
 // on the wrong machine.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeBody(w, http.StatusMethodNotAllowed, errUsePOSTBody)
 		return
 	}
 	var req EvalRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
+	ok := decodePOSTBody(w, r, &req,
+		func(scan *wire.Scanner) error { return decodeEvalRequest(scan, &req) },
+		func() { req = EvalRequest{} })
+	if !ok {
 		return
 	}
 	if err := s.validateEval(&req); err != nil {
@@ -393,8 +618,8 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := req.Shard.Fingerprint
-	if sweeps, ok := s.evals.get(fp); ok {
-		writeJSON(w, http.StatusOK, EvalResponse{Fingerprint: fp, Sweeps: sweeps})
+	if cached, ok := s.evals.get(fp); ok {
+		writeBody(w, http.StatusOK, cached)
 		return
 	}
 	sweeps := make([]PhaseSweep, 0, len(req.Units))
@@ -410,6 +635,17 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		}
 		sweeps = append(sweeps, got...)
 	}
-	s.evals.put(fp, sweeps)
-	writeJSON(w, http.StatusOK, EvalResponse{Fingerprint: fp, Sweeps: sweeps})
+	// Cache the encoded bytes, not the rows: a re-delivered or hedged shard
+	// is answered with one Write and zero re-encoding.
+	e := wire.GetEmitter()
+	encodeEvalResponse(e, fp, sweeps)
+	body, err := e.Finish()
+	if err != nil {
+		w.Header()["Content-Type"] = headerJSONValue
+		w.WriteHeader(http.StatusOK)
+	} else {
+		s.evals.put(fp, append([]byte(nil), body...))
+		writeBody(w, http.StatusOK, body)
+	}
+	wire.PutEmitter(e)
 }

@@ -1,0 +1,350 @@
+package actor_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/greenhpc/actor/internal/pmu"
+	"github.com/greenhpc/actor/pkg/actor"
+)
+
+// This file pins the serving fast path (internal/wire codec + prediction
+// memo) to the historical stdlib handlers, byte for byte. The reference
+// handlers below are verbatim re-implementations of the pre-wire-codec
+// server code — json.Decoder with DisallowUnknownFields over a
+// MaxBytesReader, json.Encoder with SetIndent("", " ") — and the parity
+// fuzzers assert the live server answers every request with the same
+// status and body the reference does.
+
+func refWriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func refWriteError(w http.ResponseWriter, code int, format string, args ...any) {
+	refWriteJSON(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+func refBadPayloadStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+const refMaxBody = 1 << 20
+
+func refPredictHandler(bank *actor.Bank) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			refWriteError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req actor.PredictRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, refMaxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			refWriteError(w, refBadPayloadStatus(err), "bad payload: %v", err)
+			return
+		}
+		if len(req.Rates) == 0 {
+			refWriteError(w, http.StatusBadRequest, `bad payload: "rates" is required and must be non-empty`)
+			return
+		}
+		ranked, err := bank.Predict(r.Context(), req.Rates)
+		if err != nil {
+			refWriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		refWriteJSON(w, http.StatusOK, actor.PredictResponse{
+			Phase:       req.Phase,
+			Best:        ranked[0].Config,
+			Predictions: ranked,
+		})
+	}
+}
+
+func refSweepHandler(eng *actor.Engine) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			refWriteError(w, http.StatusMethodNotAllowed, "use POST")
+			return
+		}
+		var req actor.SweepRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, refMaxBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			refWriteError(w, refBadPayloadStatus(err), "bad payload: %v", err)
+			return
+		}
+		if req.Bench == "" {
+			refWriteError(w, http.StatusBadRequest, `bad payload: "bench" is required`)
+			return
+		}
+		// The live server routes this through the dispatcher; with no
+		// cancellation in play the observable result is one Sweep call.
+		sweeps, err := eng.Sweep(context.Background(), req)
+		if err != nil {
+			refWriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		refWriteJSON(w, http.StatusOK, actor.SweepResponse{Sweeps: sweeps})
+	}
+}
+
+func postBytes(h http.Handler, path string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// ratesAnomalies inspects a decoded predict body for the two spots where
+// the historical handler's output is legitimately nondeterministic (map
+// iteration order), so the parity fuzzer knows when a byte comparison is
+// meaningful.
+func ratesAnomalies(rates actor.Rates) (unknown int, dup bool) {
+	seen := make(map[pmu.Event]int)
+	for name := range rates {
+		if name == "IPC" {
+			seen[pmu.Instructions]++
+			continue
+		}
+		e, ok := pmu.EventByName(name)
+		if !ok {
+			unknown++
+			continue
+		}
+		seen[e]++
+	}
+	for _, n := range seen {
+		if n > 1 {
+			dup = true
+		}
+	}
+	return unknown, dup
+}
+
+// FuzzPredictServedParity feeds arbitrary bodies to the live /v1/predict
+// fast path and to the historical stdlib handler and demands identical
+// statuses — and identical bytes whenever the historical handler itself was
+// deterministic. This is the satellite contract: the wire decoder rejects
+// exactly what encoding/json plus validation rejected, with the same status
+// codes and error text.
+func FuzzPredictServedParity(f *testing.F) {
+	_, bank := servingFixture(f)
+	srv := newTestServer(f)
+	ref := refPredictHandler(bank)
+	f.Add([]byte(`{"phase":"x_solve","rates":{"IPC":1.1,"INST_RETIRED":0.5}}`))
+	f.Add([]byte(`{"PHASE":"p","RATES":{"IPC":2}}`))
+	f.Add([]byte(`{"rates":{"IPC":1},"rates":{"IPC":3}}`))
+	f.Add([]byte(`{"rates":{"IPC":null}}`))
+	f.Add([]byte(`{"rates":null,"phase":null}`))
+	f.Add([]byte(`{"rates":{"IPC":1e309}}`))
+	f.Add([]byte(`{"rates":{"NOT_AN_EVENT":1}}`))
+	f.Add([]byte(`{"rates":{"IPC":1,"IPC":2},"phase":"\u2028"}`))
+	f.Add([]byte(`{"rates": nope}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte(`{"rate":{"IPC":1}}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			return // oversize is pinned by TestServerPredictOversize
+		}
+		got := postBytes(srv, "/v1/predict", body)
+		want := postBytes(ref, "/v1/predict", body)
+		if got.Code != want.Code {
+			t.Fatalf("status %d, historical handler gave %d for %q\nserved: %s\nref:    %s",
+				got.Code, want.Code, body, got.Body, want.Body)
+		}
+		var req actor.PredictRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if dec.Decode(&req) == nil && len(req.Rates) > 0 {
+			unknown, dup := ratesAnomalies(req.Rates)
+			if unknown > 1 || (unknown == 1 && dup) {
+				// Which unknown event the error names depends on map order.
+				if !strings.Contains(got.Body.String(), "unknown event") {
+					t.Fatalf("expected an unknown-event error, got %s", got.Body)
+				}
+				return
+			}
+			if unknown == 0 && dup {
+				// Two mnemonics resolved to one event: the surviving value is
+				// map-order-dependent even historically, so only the status is
+				// comparable.
+				return
+			}
+		}
+		if !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("served body differs from historical handler for %q:\nserved: %q\nref:    %q",
+				body, got.Body, want.Body)
+		}
+	})
+}
+
+// FuzzSweepServedParity is the same contract for /v1/sweep.
+func FuzzSweepServedParity(f *testing.F) {
+	eng, _ := servingFixture(f)
+	srv := newTestServer(f)
+	ref := refSweepHandler(eng)
+	f.Add([]byte(`{"bench":"SP"}`))
+	f.Add([]byte(`{"bench":"SP","phases":["x_solve"]}`))
+	f.Add([]byte(`{"BENCH":"CG","phases":[null]}`))
+	f.Add([]byte(`{"bench":"NOPE"}`))
+	f.Add([]byte(`{"bench":"SP","phases":["nope"]}`))
+	f.Add([]byte(`{"phases":["a"],"phases":["b","c"]}`))
+	f.Add([]byte(`{"bench":null}`))
+	f.Add([]byte(`{"bench":"SP","extra":1}`))
+	f.Add([]byte(`[1,2]`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			return
+		}
+		got := postBytes(srv, "/v1/sweep", body)
+		want := postBytes(ref, "/v1/sweep", body)
+		if got.Code != want.Code || !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("served sweep differs from historical handler for %q:\nserved: %d %q\nref:    %d %q",
+				body, got.Code, got.Body, want.Code, want.Body)
+		}
+	})
+}
+
+// FuzzEvalDecodeParity pins the /v1/eval decoder's reject behaviour: any
+// body encoding/json rejects must come back from the live server with the
+// stdlib's exact error text and status. (Accepted bodies proceed to shard
+// validation, which is shared code on both paths and covered by the dist
+// and eval tests.)
+func FuzzEvalDecodeParity(f *testing.F) {
+	srv := newTestServer(f)
+	f.Add([]byte(`{"seed":"not a number"}`))
+	f.Add([]byte(`{"units":[{"bench":1}]}`))
+	f.Add([]byte(`{"shard":{"index":1.5}}`))
+	f.Add([]byte(`{"nope":1}`))
+	f.Add([]byte(`{"units":[{"bench":"SP","phases":["x"]}],"seed":0}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 1<<16 {
+			return
+		}
+		var req actor.EvalRequest
+		dec := json.NewDecoder(http.MaxBytesReader(httptest.NewRecorder(), io.NopCloser(bytes.NewReader(body)), refMaxBody))
+		dec.DisallowUnknownFields()
+		err := dec.Decode(&req)
+		if err == nil {
+			return
+		}
+		want := httptest.NewRecorder()
+		refWriteError(want, refBadPayloadStatus(err), "bad payload: %v", err)
+		got := postBytes(srv, "/v1/eval", body)
+		if got.Code != want.Code || !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+			t.Fatalf("served eval reject differs from stdlib for %q:\nserved: %d %q\nref:    %d %q",
+				body, got.Code, got.Body, want.Code, want.Body)
+		}
+	})
+}
+
+// TestServerPredictMemoIdentity serves the same request set through a
+// memo-enabled server (twice: miss then hit) and a memo-disabled server,
+// and requires every response byte-identical — the acceptance criterion
+// that the memo can never change served bytes.
+func TestServerPredictMemoIdentity(t *testing.T) {
+	eng, bank := servingFixture(t)
+	srvOn, err := actor.NewServer(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvOn.Close()
+	t.Setenv("ACTOR_PREDICT_MEMO", "off")
+	srvOff, err := actor.NewServer(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvOff.Close()
+
+	var bodies [][]byte
+	for _, ipc := range []float64{0.25, 1.5, 1.5, 3.75} {
+		b, _ := json.Marshal(actor.PredictRequest{Phase: "x_solve", Rates: testRates(bank, ipc)})
+		bodies = append(bodies, b)
+	}
+	bodies = append(bodies, []byte(`{"rates":{"IPC":1.25}}`))
+
+	for _, body := range bodies {
+		first := postBytes(srvOn, "/v1/predict", body)
+		second := postBytes(srvOn, "/v1/predict", body) // memo hit
+		off := postBytes(srvOff, "/v1/predict", body)
+		if first.Code != http.StatusOK {
+			t.Fatalf("predict = %d: %s", first.Code, first.Body)
+		}
+		if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+			t.Errorf("memo hit served different bytes:\nmiss: %q\nhit:  %q", first.Body, second.Body)
+		}
+		if !bytes.Equal(first.Body.Bytes(), off.Body.Bytes()) {
+			t.Errorf("memo-off server served different bytes:\non:  %q\noff: %q", first.Body, off.Body)
+		}
+	}
+}
+
+// TestServerBankContentLength checks the precomputed /v1/bank response: an
+// explicit, correct Content-Length and a body byte-identical to the
+// historical json.Encoder output.
+func TestServerBankContentLength(t *testing.T) {
+	srv := newTestServer(t)
+	eng, bank := servingFixture(t)
+	rec := do(t, srv, http.MethodGet, "/v1/bank", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bank = %d: %s", rec.Code, rec.Body)
+	}
+	if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(rec.Body.Len()) {
+		t.Errorf("Content-Length %q, body is %d bytes", cl, rec.Body.Len())
+	}
+	want := httptest.NewRecorder()
+	refWriteJSON(want, http.StatusOK, actor.BankInfo{
+		Meta:     bank.Meta(),
+		Benches:  eng.BenchNames(),
+		Topology: eng.TopologyDesc(),
+	})
+	if !bytes.Equal(rec.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("bank body differs from historical encoding:\nserved: %q\nref:    %q", rec.Body, want.Body)
+	}
+}
+
+// TestServerPredictOversize pins the 1 MiB body cap: a request whose first
+// JSON value needs more than the cap gets the historical 413, with the
+// MaxBytesReader's exact error text.
+func TestServerPredictOversize(t *testing.T) {
+	_, bank := servingFixture(t)
+	srv := newTestServer(t)
+	ref := refPredictHandler(bank)
+	huge := `{"rates":{"IPC":1},"phase":"` + strings.Repeat("a", refMaxBody) + `"}`
+	got := postBytes(srv, "/v1/predict", []byte(huge))
+	want := postBytes(ref, "/v1/predict", []byte(huge))
+	if got.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize predict = %d, want 413 (%s)", got.Code, got.Body)
+	}
+	if got.Code != want.Code || !bytes.Equal(got.Body.Bytes(), want.Body.Bytes()) {
+		t.Errorf("oversize response differs from historical handler:\nserved: %d %q\nref:    %d %q",
+			got.Code, got.Body, want.Code, want.Body)
+	}
+	// A value that completes exactly within the cap is accepted even with
+	// trailing bytes beyond it, like a buffered json.Decoder read.
+	pad := refMaxBody - len(`{"rates":{"IPC":1}}`)
+	okBody := `{"rates":{"IPC":1}}` + strings.Repeat(" ", pad) + "trailing"
+	if rec := postBytes(srv, "/v1/predict", []byte(okBody)); rec.Code != http.StatusOK {
+		t.Errorf("cap-sized predict = %d, want 200 (%s)", rec.Code, rec.Body)
+	}
+}

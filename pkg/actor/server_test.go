@@ -22,7 +22,7 @@ var (
 	srvErr  error
 )
 
-func servingFixture(t *testing.T) (*actor.Engine, *actor.Bank) {
+func servingFixture(t testing.TB) (*actor.Engine, *actor.Bank) {
 	t.Helper()
 	srvOnce.Do(func() {
 		srvEng, srvErr = actor.New(actor.WithFast(), actor.WithRepetitions(1), actor.WithMLR())
@@ -37,7 +37,7 @@ func servingFixture(t *testing.T) (*actor.Engine, *actor.Bank) {
 	return srvEng, srvBank
 }
 
-func newTestServer(t *testing.T) *actor.Server {
+func newTestServer(t testing.TB) *actor.Server {
 	t.Helper()
 	eng, _ := servingFixture(t)
 	srv, err := actor.NewServer(eng)

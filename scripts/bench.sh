@@ -36,6 +36,15 @@ trap 'rm -f "$RAW"' EXIT
 SIMD_META="$(go run ./scripts/simdinfo)" || SIMD_META="{}"
 export SIMD_META
 
+# Serving load snapshot: a short seeded actorload trace against an
+# in-process actord (self-serve mode), so every snapshot carries gateable
+# open-loop serving metrics (req_per_s, p50/p99/p999 latency) next to the
+# micro-benchmarks. bench_trend surfaces these as the _loadgen
+# pseudo-benchmark and -gate fails on regressions.
+echo "running: actorload -selfserve -duration 2s -rate 2000 -seed 42" >&2
+LOADGEN_META="$(go run ./cmd/actorload -selfserve -duration 2s -rate 2000 -seed 42 2>/dev/null)" || LOADGEN_META="{}"
+export LOADGEN_META
+
 echo "running: go test -run ^$ -bench '$PATTERN' -benchmem -benchtime $BENCHTIME ." >&2
 go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" . | tee "$RAW" >&2
 
@@ -65,7 +74,9 @@ END {
     if (!first) printf ",\n"
     simd = ENVIRON["SIMD_META"]
     if (simd == "") simd = "{}"
-    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"bench\": \"env GOMAXPROCS=%s\", \"simd\": %s}\n", goos, goarch, cpu, ENVIRON["GOMAXPROCS"], simd
+    loadgen = ENVIRON["LOADGEN_META"]
+    if (loadgen == "") loadgen = "{}"
+    printf "  \"_meta\": {\"goos\": \"%s\", \"goarch\": \"%s\", \"cpu\": \"%s\", \"bench\": \"env GOMAXPROCS=%s\", \"simd\": %s, \"loadgen\": %s}\n", goos, goarch, cpu, ENVIRON["GOMAXPROCS"], simd, loadgen
     print "}"
 }' "$RAW" > "$OUT"
 

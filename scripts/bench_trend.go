@@ -53,6 +53,16 @@ func load(path string) (map[string]map[string]float64, error) {
 	out := make(map[string]map[string]float64, len(raw))
 	for name, msg := range raw {
 		if name == "_meta" {
+			// The _meta block may carry a loadgen snapshot (written by
+			// scripts/bench.sh via actorload): open-loop serving metrics.
+			// Surface it as the _loadgen pseudo-benchmark so it rides the
+			// same trend/gate machinery as real benchmarks.
+			var meta struct {
+				Loadgen map[string]float64 `json:"loadgen"`
+			}
+			if err := json.Unmarshal(msg, &meta); err == nil && len(meta.Loadgen) > 0 {
+				out[loadgenName] = meta.Loadgen
+			}
 			continue
 		}
 		var metrics map[string]float64
@@ -63,6 +73,11 @@ func load(path string) (map[string]map[string]float64, error) {
 	}
 	return out, nil
 }
+
+// loadgenName is the pseudo-benchmark the _meta.loadgen snapshot appears
+// under. Its metrics are gated by direction: req_per_s must not drop and
+// p99_us must not rise beyond -max-load-regress percent.
+const loadgenName = "_loadgen"
 
 var snapshotName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
@@ -115,6 +130,14 @@ func sortedNames(snaps []snapshot) []string {
 }
 
 func printTrend(snaps []snapshot, names []string) {
+	// The _loadgen pseudo-benchmark has its own metric set; print it in a
+	// dedicated block after the micro-benchmark tables.
+	var loadSnaps []snapshot
+	for _, s := range snaps {
+		if _, ok := s.values[loadgenName]; ok {
+			loadSnaps = append(loadSnaps, s)
+		}
+	}
 	for _, metric := range []string{"ns_per_op", "allocs_per_op"} {
 		fmt.Printf("%s across snapshots:\n", metric)
 		header := fmt.Sprintf("%-44s", "benchmark")
@@ -123,11 +146,44 @@ func printTrend(snaps []snapshot, names []string) {
 		}
 		fmt.Println(header + "        Δ first→last")
 		for _, name := range names {
+			if name == loadgenName {
+				continue
+			}
 			row := fmt.Sprintf("%-44s", name)
 			var first, last float64
 			haveFirst := false
 			for _, s := range snaps {
 				v, ok := s.values[name][metric]
+				if !ok {
+					row += fmt.Sprintf(" %14s", "-")
+					continue
+				}
+				row += fmt.Sprintf(" %14.0f", v)
+				if !haveFirst {
+					first, haveFirst = v, true
+				}
+				last = v
+			}
+			if haveFirst && first > 0 {
+				row += fmt.Sprintf("  %+9.1f%%", (last-first)/first*100)
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
+	if len(loadSnaps) > 0 {
+		fmt.Println("serving load (_meta.loadgen, via actorload) across snapshots:")
+		header := fmt.Sprintf("%-44s", "metric")
+		for _, s := range loadSnaps {
+			header += fmt.Sprintf(" %14s", "BENCH_"+strconv.Itoa(s.num))
+		}
+		fmt.Println(header + "        Δ first→last")
+		for _, metric := range []string{"req_per_s", "p50_us", "p99_us", "p999_us"} {
+			row := fmt.Sprintf("%-44s", metric)
+			var first, last float64
+			haveFirst := false
+			for _, s := range loadSnaps {
+				v, ok := s.values[loadgenName][metric]
 				if !ok {
 					row += fmt.Sprintf(" %14s", "-")
 					continue
@@ -165,6 +221,9 @@ func gate(snaps []snapshot, names []string, maxRegressPct float64, allowed map[s
 	// rather than silently passing.
 	var added, removed, odd []string
 	for _, name := range names {
+		if name == loadgenName {
+			continue // gated separately, by direction-aware metrics
+		}
 		was, okPrev := prev.values[name]["ns_per_op"]
 		now, okLast := last.values[name]["ns_per_op"]
 		switch {
@@ -212,9 +271,55 @@ func gate(snaps []snapshot, names []string, maxRegressPct float64, allowed map[s
 	return ok
 }
 
+// gateLoadgen compares the _loadgen pseudo-benchmark between the two most
+// recent snapshots that carry one. Direction-aware: req_per_s regresses by
+// dropping, the latency percentiles by rising. The tolerance is separate
+// from -max-regress (and looser by default) because open-loop load numbers
+// ride on runner scheduling noise that ns/op micro-benchmarks average out.
+func gateLoadgen(snaps []snapshot, maxRegressPct float64) bool {
+	var have []snapshot
+	for _, s := range snaps {
+		if _, ok := s.values[loadgenName]; ok {
+			have = append(have, s)
+		}
+	}
+	if len(have) < 2 {
+		fmt.Println("load gate: fewer than two snapshots with loadgen metrics — pass")
+		return true
+	}
+	prev, last := have[len(have)-2], have[len(have)-1]
+	fmt.Printf("load gate: BENCH_%d vs BENCH_%d, regression threshold %+.0f%%\n",
+		last.num, prev.num, maxRegressPct)
+	ok := true
+	check := func(metric string, higherIsBetter bool) {
+		was, okPrev := prev.values[loadgenName][metric]
+		now, okLast := last.values[loadgenName][metric]
+		if !okPrev || !okLast || was <= 0 {
+			return
+		}
+		change := (now - was) / was * 100
+		regress := change
+		if higherIsBetter {
+			regress = -change
+		}
+		if regress <= maxRegressPct {
+			return
+		}
+		fmt.Printf("  FAIL    %-20s %.0f → %.0f (%+.1f%%)\n", metric, was, now, change)
+		ok = false
+	}
+	check("req_per_s", true)
+	check("p99_us", false)
+	if ok {
+		fmt.Println("load gate: pass")
+	}
+	return ok
+}
+
 func main() {
 	gateMode := flag.Bool("gate", false, "fail (exit 1) when ns/op regresses beyond -max-regress vs the previous snapshot")
 	maxRegress := flag.Float64("max-regress", 30, "maximum tolerated ns/op regression in percent (gate mode)")
+	maxLoadRegress := flag.Float64("max-load-regress", 100, "maximum tolerated _loadgen regression in percent: req_per_s dropping or p99_us rising (gate mode)")
 	allowList := flag.String("allow", "", "comma-separated benchmark names exempt from the gate")
 	flag.Parse()
 
@@ -231,7 +336,11 @@ func main() {
 			allowed[name] = true
 		}
 	}
-	if !gate(snaps, names, *maxRegress, allowed) {
+	pass := gate(snaps, names, *maxRegress, allowed)
+	if !gateLoadgen(snaps, *maxLoadRegress) {
+		pass = false
+	}
+	if !pass {
 		os.Exit(1)
 	}
 }
