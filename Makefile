@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e load-smoke fmt vet ci clean
+.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e load-smoke fleet-smoke fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,12 @@ dist-e2e:
 ## and byte-identical responses on replay (CI).
 load-smoke:
 	scripts/load_smoke.sh
+
+## fleet-smoke: seeded 100-job/16-machine fleet scheduling run on both
+## scorers — asserts the pinned deterministic schedule digest and zero
+## QoS-bound violations (CI; see docs/FLEET.md).
+fleet-smoke:
+	scripts/fleet_smoke.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

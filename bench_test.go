@@ -23,6 +23,7 @@ import (
 	"github.com/greenhpc/actor/internal/core"
 	"github.com/greenhpc/actor/internal/dataset"
 	"github.com/greenhpc/actor/internal/exp"
+	"github.com/greenhpc/actor/internal/fleet"
 	"github.com/greenhpc/actor/internal/kernels"
 	"github.com/greenhpc/actor/internal/machine"
 	"github.com/greenhpc/actor/internal/mlr"
@@ -411,6 +412,81 @@ func BenchmarkAblationHiddenTopology(b *testing.B) {
 				est = ens.EstimateMSE
 			}
 			b.ReportMetric(est, "estimate-mse")
+		})
+	}
+}
+
+// --- Fleet scheduling benchmarks ------------------------------------------
+
+// fleetBench builds the seeded fleet + job stream pair the fleet
+// benchmarks share. The spec lists the superset-shape class first so the
+// canonical (congestion, index) order probes universally-feasible
+// machines before the packed-only ones.
+func fleetBench(b *testing.B, spec string, jobs int, rate float64) (*fleet.Fleet, []fleet.Job) {
+	b.Helper()
+	f, err := fleet.ParseFleet(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := fleet.GenJobs(fleet.StreamConfig{Jobs: jobs, Seed: 42, ArrivalRate: rate, MeanSize: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, stream
+}
+
+// BenchmarkFleetSchedule is the PR 9 headline: 10k jobs against a 1000
+// machine heterogeneous fleet. The incremental sub-benchmark is the
+// shipped scorer (treap probe order + sharded score memo); naive is the
+// O(M)-per-decision bit-identity reference, so the ns/op ratio between
+// the two sub-benchmarks is the measured speedup (target ≥10×). Every
+// naive iteration asserts its schedule digest matches the incremental
+// scorer's, keeping the fast path honest inside the benchmark itself.
+func BenchmarkFleetSchedule(b *testing.B) {
+	const spec = "400*4x2+2x2:little,600*2x2"
+	f, stream := fleetBench(b, spec, 10000, 60)
+	ref, err := fleet.Schedule(f, stream, fleet.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bp, err := fleet.Schedule(f, stream, fleet.Options{Scorer: fleet.ScorerBinpack})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, scorer := range []string{fleet.ScorerIncremental, fleet.ScorerNaive} {
+		scorer := scorer
+		b.Run(scorer, func(b *testing.B) {
+			var res *fleet.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = fleet.Schedule(f, stream, fleet.Options{Scorer: scorer})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Digest() != ref.Digest() {
+					b.Fatalf("%s digest %016x != incremental %016x", scorer, res.Digest(), ref.Digest())
+				}
+			}
+			b.ReportMetric(float64(res.ScoredMachines)/float64(len(stream)), "scored-machines/job")
+			b.ReportMetric(res.ED2/bp.ED2, "ED2-vs-binpack")
+			b.ReportMetric(float64(res.Violations), "qos-violations")
+		})
+	}
+}
+
+// BenchmarkFleetScheduleSmall is the trend-friendly variant: a 16-machine
+// mixed fleet under the same policy, cheap enough for -benchtime scaling
+// to produce stable ns/op on both scorers.
+func BenchmarkFleetScheduleSmall(b *testing.B) {
+	f, stream := fleetBench(b, "12*2x2,4*1x4+2x2:little", 200, 2)
+	for _, scorer := range []string{fleet.ScorerIncremental, fleet.ScorerNaive} {
+		scorer := scorer
+		b.Run(scorer, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fleet.Schedule(f, stream, fleet.Options{Scorer: scorer}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,97 @@
+// Command actorfleet runs the cluster-scale interference-aware scheduling
+// study: a seeded stream of jobs carrying NPB phase signatures arrives at
+// a fleet of heterogeneous machines, and the fleet scheduler places each
+// under a QoS degradation bound, reporting fleet ED², utilization and
+// slowdowns against the naive bin-packing baseline.
+//
+//	actorfleet -fleet "600*2x2,400*4x2+2x2:little" -jobs 10000 -rate 8
+//	actorfleet -jobs 100 -machines "16*2x2" -digest   # CI smoke mode
+//
+// ACTOR_FLEET_SCORER=naive forces the O(M) reference scorer (the fleet
+// sibling of ACTOR_SIMD=off); -scorer overrides both.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/greenhpc/actor/internal/fleet"
+	"github.com/greenhpc/actor/internal/report"
+)
+
+func main() {
+	var (
+		spec     = flag.String("fleet", "64*2x2", "fleet spec: comma-separated count*topology-descriptor terms")
+		jobs     = flag.Int("jobs", 1000, "number of jobs in the arrival stream")
+		seed     = flag.Int64("seed", 42, "stream seed")
+		rate     = flag.Float64("rate", 4, "mean arrival rate (jobs/sec)")
+		meanSize = flag.Float64("meansize", 3, "mean job size in iterations (bounded Pareto)")
+		qos      = flag.Float64("qos", 0.25, "QoS degradation bound (admissible slowdown = 1+qos)")
+		scorer   = flag.String("scorer", "", "placement scorer: incremental, naive or binpack (default: $ACTOR_FLEET_SCORER or incremental)")
+		probe    = flag.Int("probe", 8, "incremental scorer probe batch width")
+		compare  = flag.Bool("compare", true, "also run the bin-packing baseline and report the delta")
+		digest   = flag.Bool("digest", false, "print only the schedule digest and violation count (CI smoke mode)")
+	)
+	flag.Parse()
+
+	f, err := fleet.ParseFleet(*spec, nil)
+	fail(err)
+	stream, err := fleet.GenJobs(fleet.StreamConfig{
+		Jobs: *jobs, Seed: *seed, ArrivalRate: *rate, MeanSize: *meanSize,
+	})
+	fail(err)
+
+	opt := fleet.Options{QoS: *qos, Scorer: *scorer, ProbeWidth: *probe}
+	t0 := time.Now()
+	res, err := fleet.Schedule(f, stream, opt)
+	fail(err)
+	wall := time.Since(t0)
+
+	if *digest {
+		fmt.Printf("digest=%016x violations=%d scorer=%s\n", res.Digest(), res.Violations, res.Scorer)
+		return
+	}
+
+	w := os.Stdout
+	report.Section(w, "Fleet scheduling study")
+	fmt.Fprintf(w, "fleet %s (%d machines, %d cores), %d jobs, seed %d\n\n",
+		*spec, f.Machines(), f.TotalCores(), *jobs, *seed)
+
+	t := report.NewTable("schedule", "scorer", "wall", "scored", "makespan", "ED2", "util", "mean-slow", "max-slow", "mean-wait", "viol")
+	row := func(r *fleet.Result, wall time.Duration) {
+		t.AddRow(r.Scorer, wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", r.ScoredMachines),
+			fmt.Sprintf("%.1fs", r.Makespan),
+			fmt.Sprintf("%.3g", r.ED2),
+			fmt.Sprintf("%.1f%%", 100*r.CoreUtil),
+			fmt.Sprintf("%.3f", r.MeanSlowdown),
+			fmt.Sprintf("%.3f", r.MaxSlowdown),
+			fmt.Sprintf("%.2fs", r.MeanWait),
+			fmt.Sprintf("%d", r.Violations))
+	}
+	row(res, wall)
+
+	if *compare && res.Scorer != fleet.ScorerBinpack {
+		bopt := opt
+		bopt.Scorer = fleet.ScorerBinpack
+		t0 = time.Now()
+		bp, err := fleet.Schedule(f, stream, bopt)
+		fail(err)
+		row(bp, time.Since(t0))
+		t.Render(w)
+		fmt.Fprintf(w, "\nED2 vs binpack: %.3f× (lower is better), violations %d vs %d\n",
+			res.ED2/bp.ED2, res.Violations, bp.Violations)
+	} else {
+		t.Render(w)
+	}
+	fmt.Fprintf(w, "schedule digest %016x\n", res.Digest())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "actorfleet:", err)
+		os.Exit(1)
+	}
+}

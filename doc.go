@@ -39,6 +39,18 @@
 // evaluation" section of docs/SERVING.md and internal/dist/faultinject
 // for the fault-injection harness that tests exactly that.
 //
+// The cluster-scale study runs through cmd/actorfleet: a seeded stream of
+// jobs carrying NPB phase signatures arrives at a fleet of heterogeneous
+// machines ("count*descriptor" terms, e.g. "400*4x2+2x2:little,600*2x2"),
+// and the interference-aware scheduler places each under a QoS degradation
+// bound, reporting fleet ED² and utilization against naive bin-packing.
+// The shipped incremental scorer (treap probe order + sharded score memo)
+// is digest-identical to the naive O(M) reference — ACTOR_FLEET_SCORER
+// selects between them — and schedules are byte-identical across runs and
+// GOMAXPROCS settings. See docs/FLEET.md:
+//
+//	go run ./cmd/actorfleet -fleet "400*4x2+2x2:little,600*2x2" -jobs 10000 -rate 60
+//
 // Topology descriptors follow the grammar of topology.ParseDesc —
 // "count x groupSize [:class]" terms joined by "+", where a class is
 // "big", "little", or an inline "name(freqMult,cpiMult[,smtWidth])"

@@ -1,0 +1,401 @@
+// Package fleet lifts the paper's single-node adaptation story to the
+// cluster: a fleet of heterogeneous machines (each described by the same
+// topology.ParseDesc grammar the rest of the system uses), a stream of
+// arriving jobs carrying per-phase PMU signatures drawn from the NPB
+// suite, and an interference-aware scheduler that scores candidate
+// (machine, placement) slots under a QoS degradation bound — the layer the
+// paws scheduler builds from temporal utilization templates, reproduced
+// here on top of our analytic machine model.
+//
+// The scheduler's decision policy is deliberately simple and exactly
+// specified, because two implementations must reproduce it bit for bit:
+//
+//   - every machine carries a residual template (per-L2-group free cores,
+//     external cache pressure, resident memory sensitivity, plus a
+//     machine-wide bus-demand sum) recomputed from its resident set in
+//     job-ID order after every placement and completion;
+//   - a machine's congestion key K is a pure function of that template;
+//   - an arriving job is placed on the feasible machine with the smallest
+//     (K, machine index), where feasibility means the job's predicted
+//     slowdown — relative to its solo-best time across the fleet's machine
+//     classes — and the marginal degradation imposed on every resident
+//     both stay within the QoS bound;
+//   - within the chosen machine, the placement is the best-predicted
+//     (thread count, per-group distribution) candidate, evaluated with the
+//     machine model's batched sweep on canonical placements.
+//
+// Two scorers implement the policy. The naive reference re-scores every
+// machine on every arrival — O(M) template builds and candidate solves.
+// The incremental scorer maintains machines in a congestion-ordered treap
+// (placing or completing a job updates only the touched machine's key, in
+// O(log M)), probes candidates in key order until the first feasible
+// machine, and serves candidate solves from a sharded score memo keyed on
+// (machine class, residual-template fingerprint, job signature), so
+// identical co-run configurations are solved once fleet-wide. Both paths
+// evaluate candidates through the same pure functions over the same
+// template values, so their schedules are byte-identical — the same
+// scalar/SIMD pattern the kernel engine uses, with ACTOR_FLEET_SCORER=naive
+// as the kill switch.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// maxGroups bounds the number of L2 groups per machine class so per-group
+// thread distributions fit fixed-size vectors (no allocation on the
+// scoring hot path).
+const maxGroups = 16
+
+// distVec is a per-group thread-count vector, indexed either canonically
+// (template order) or by real group index, depending on context.
+type distVec [maxGroups]int8
+
+// Model constants of the interference composition. The solo machine-model
+// solve already covers self-interference (a job's own threads sharing an
+// L2 group); these coefficients scale the cross-job terms: external cache
+// pressure in a shared group and fleet bus overcommit. They are part of
+// the deterministic policy, not tunables read from the environment.
+const (
+	// kCache scales the slowdown a memory-sensitive thread suffers per
+	// unit of external working-set pressure (bytes of co-resident
+	// footprint per byte of L2 capacity) in its group.
+	kCache = 0.5
+	// cacheCap bounds the external-pressure ratio fed to the cache term:
+	// beyond ~1.5 cache capacities of external footprint the group is
+	// fully thrashed and more pressure changes nothing.
+	cacheCap = 1.5
+	// kBus scales the slowdown per unit of bus overcommit (aggregate bus
+	// demand beyond the machine's capacity, both expressed as fractions
+	// of that capacity).
+	kBus = 0.9
+	// maxFactor caps the composed interference factor; the analytic terms
+	// are first-order and should not extrapolate into absurdity.
+	maxFactor = 4.0
+)
+
+// Power proxy constants for fleet-level energy accounting (the ED² the
+// study reports). Machines are never power-gated: the base burns for the
+// whole schedule, so packing saves no base power and the scheduler's win
+// must come from delay and dynamic power — the same conclusion the paper
+// draws for single-node throttling.
+const (
+	basePowerW  = 60.0 // per-machine floor: PSU, fans, chipset, idle cores
+	staticCoreW = 2.0  // extra leakage/clock power per occupied core
+	dynCoreW    = 25.0 // switching power of a fully unstalled core
+)
+
+// groupKind identifies a class of identical L2 groups within a machine
+// class: same core count and same core class. Canonical templates sort
+// groups by kind so two machines with the same residual state encode
+// identically.
+type groupKind struct {
+	size     int
+	classIdx int
+}
+
+// Class is one machine class of the fleet: a parsed topology plus the
+// shared (memoised) machine model every solo-placement solve runs on.
+type Class struct {
+	// Desc is the topology descriptor the class was built from.
+	Desc string
+	// Topo is the parsed topology.
+	Topo *topology.Topology
+	// Model is the ground-truth machine model, memoised so canonical solo
+	// placements are solved once per (phase, load multiset) fleet-wide.
+	Model *machine.Machine
+
+	kinds      []groupKind // distinct group kinds, canonical order
+	groupKind  []int       // real group index → kind index
+	kindGroups [][]int     // kind index → real group indices, topo order
+	groupSize  []int       // real group index → core count
+	l2Bytes    float64
+	cores      int
+}
+
+// NewClass parses a topology descriptor into a machine class. Params, when
+// non-nil, replaces the model's default core parameters (tests use this to
+// zero ResponseSigma for exact parity with the single-node oracles).
+func NewClass(desc string, params *machine.Params) (*Class, error) {
+	topo, err := topology.ParseDesc(desc)
+	if err != nil {
+		return nil, err
+	}
+	if len(topo.L2Groups) > maxGroups {
+		return nil, fmt.Errorf("fleet: class %q has %d L2 groups, max %d", desc, len(topo.L2Groups), maxGroups)
+	}
+	m, err := machine.New(topo)
+	if err != nil {
+		return nil, err
+	}
+	if params != nil {
+		m.SetParams(*params)
+	}
+	m = m.WithMemo()
+	c := &Class{
+		Desc:    desc,
+		Topo:    topo,
+		Model:   m,
+		l2Bytes: float64(topo.L2BytesPerGroup),
+		cores:   topo.NumCores,
+	}
+	c.groupKind = make([]int, len(topo.L2Groups))
+	c.groupSize = make([]int, len(topo.L2Groups))
+	for gi, g := range topo.L2Groups {
+		c.groupSize[gi] = len(g)
+		k := groupKind{size: len(g), classIdx: topo.ClassIndexOf(g[0])}
+		ki := -1
+		for i, have := range c.kinds {
+			if have == k {
+				ki = i
+				break
+			}
+		}
+		if ki < 0 {
+			ki = len(c.kinds)
+			c.kinds = append(c.kinds, k)
+			c.kindGroups = append(c.kindGroups, nil)
+		}
+		c.groupKind[gi] = ki
+		c.kindGroups[ki] = append(c.kindGroups[ki], gi)
+	}
+	return c, nil
+}
+
+// Cores returns the class's core count.
+func (c *Class) Cores() int { return c.cores }
+
+// Fleet is a static fleet description: classes plus the class index of
+// every machine. Scheduling runs build their runtime state from it, so one
+// Fleet serves many Schedule calls (and both scorers of a comparison).
+type Fleet struct {
+	Classes []*Class
+	// MachineClass maps machine index → class index.
+	MachineClass []int
+}
+
+// NewFleet builds a fleet of counts[i] machines of each class, numbered
+// class-major (all machines of class 0 first). Machine indices are the
+// canonical tie-break of the placement policy, so the ordering is part of
+// the schedule's identity.
+func NewFleet(classes []*Class, counts []int) (*Fleet, error) {
+	if len(classes) == 0 || len(classes) != len(counts) {
+		return nil, fmt.Errorf("fleet: %d classes for %d counts", len(classes), len(counts))
+	}
+	f := &Fleet{Classes: classes}
+	for ci, n := range counts {
+		if n <= 0 {
+			return nil, fmt.Errorf("fleet: class %q count %d", classes[ci].Desc, n)
+		}
+		for i := 0; i < n; i++ {
+			f.MachineClass = append(f.MachineClass, ci)
+		}
+	}
+	return f, nil
+}
+
+// ParseFleet builds a fleet from a compact spec: comma-separated
+// "count*descriptor" terms, where descriptor follows topology.ParseDesc.
+//
+//	"64*2x2"                          — 64 quad-cores
+//	"600*4x2,400*2x4+2x2:little"      — a 1000-machine heterogeneous fleet
+func ParseFleet(spec string, params *machine.Params) (*Fleet, error) {
+	var classes []*Class
+	var counts []int
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		star := strings.Index(term, "*")
+		if star <= 0 {
+			return nil, fmt.Errorf("fleet: spec term %q is not count*descriptor", term)
+		}
+		var n int
+		if _, err := fmt.Sscanf(term[:star], "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("fleet: bad machine count in %q", term)
+		}
+		c, err := NewClass(term[star+1:], params)
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, c)
+		counts = append(counts, n)
+	}
+	return NewFleet(classes, counts)
+}
+
+// Machines returns the fleet's machine count.
+func (f *Fleet) Machines() int { return len(f.MachineClass) }
+
+// TotalCores returns the fleet's aggregate core count.
+func (f *Fleet) TotalCores() int {
+	n := 0
+	for _, ci := range f.MachineClass {
+		n += f.Classes[ci].cores
+	}
+	return n
+}
+
+// machState is the runtime state of one fleet machine. Aggregates are
+// always recomputed from the resident list in job-ID order, so two
+// scheduling runs that reach the same resident set through any event
+// interleaving hold bit-identical floats.
+type machState struct {
+	class     int
+	residents []*placedJob // sorted by job ID
+
+	// Per-real-group aggregates.
+	free    [maxGroups]int16   // free cores
+	occ     [maxGroups]int16   // resident threads
+	ws      [maxGroups]float64 // external working-set pressure (bytes)
+	sensMax [maxGroups]float64 // max resident memory sensitivity
+
+	busSum     float64 // aggregate bus demand (fraction of capacity)
+	maxSens    float64 // machine-wide max resident sensitivity
+	freeTotal  int
+	congestion float64 // the policy's machine-ordering key K
+	power      float64 // instantaneous power draw (W)
+}
+
+// wsContribution is the external L2 pressure k threads of a job exert on
+// one group: the first thread brings the full per-thread footprint, and
+// each additional thread adds only the unshared part.
+func wsContribution(wsJ, shareJ float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return wsJ * (1 + float64(k-1)*(1-shareJ))
+}
+
+// recompute rebuilds every aggregate of m from its resident list. The sums
+// accumulate in job-ID order (the list's invariant), never incrementally,
+// so aggregate floats depend only on the resident set — not on the order
+// placements and completions happened to interleave.
+func (m *machState) recompute(c *Class) {
+	ng := len(c.groupSize)
+	for g := 0; g < ng; g++ {
+		m.occ[g], m.ws[g], m.sensMax[g] = 0, 0, 0
+	}
+	m.busSum, m.maxSens = 0, 0
+	m.power = basePowerW
+	for _, r := range m.residents {
+		m.busSum += r.busJ
+		if r.sensJ > m.maxSens {
+			m.maxSens = r.sensJ
+		}
+		m.power += float64(r.threads) * (staticCoreW + dynCoreW*(1-r.sensJ))
+		for g := 0; g < ng; g++ {
+			if k := int(r.dist[g]); k > 0 {
+				m.occ[g] += int16(k)
+				m.ws[g] += wsContribution(r.wsJ, r.shareJ, k)
+				if r.sensJ > m.sensMax[g] {
+					m.sensMax[g] = r.sensJ
+				}
+			}
+		}
+	}
+	m.freeTotal = 0
+	var press float64
+	for g := 0; g < ng; g++ {
+		m.free[g] = int16(c.groupSize[g]) - m.occ[g]
+		m.freeTotal += int(m.free[g])
+		press += m.ws[g] / c.l2Bytes
+	}
+	used := 1 - float64(m.freeTotal)/float64(c.cores)
+	// K orders machines least-congested-first: bus demand dominates, then
+	// mean cache pressure, then plain occupancy. Any monotone combination
+	// works — the policy only needs K to be a pure function of the
+	// template so both scorers order machines identically.
+	m.congestion = m.busSum + 0.5*press/float64(ng) + 0.5*used
+}
+
+// groupView is one group of a machine's canonical template: the residual
+// state the scoring functions consume, plus the real group index so a
+// chosen canonical distribution can be mapped back onto the machine.
+type groupView struct {
+	kind    int
+	free    int
+	occ     int
+	ws      float64
+	sensMax float64
+	real    int
+}
+
+// canonGroups fills dst with m's groups in canonical template order: by
+// kind, then most-free first, then lightest pressure, with the real index
+// as the final tie-break. Machines whose residual states are equal
+// group-for-group produce element-wise identical views (the real index
+// never feeds scoring), which is what makes the score memo shareable
+// across machines.
+func canonGroups(c *Class, m *machState, dst []groupView) []groupView {
+	ng := len(c.groupSize)
+	dst = dst[:0]
+	for g := 0; g < ng; g++ {
+		dst = append(dst, groupView{
+			kind:    c.groupKind[g],
+			free:    int(m.free[g]),
+			occ:     int(m.occ[g]),
+			ws:      m.ws[g],
+			sensMax: m.sensMax[g],
+			real:    g,
+		})
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		a, b := &dst[i], &dst[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.free != b.free {
+			return a.free > b.free
+		}
+		if a.ws != b.ws {
+			return a.ws < b.ws
+		}
+		if a.occ != b.occ {
+			return a.occ < b.occ
+		}
+		if a.sensMax != b.sensMax {
+			return a.sensMax < b.sensMax
+		}
+		return a.real < b.real
+	})
+	return dst
+}
+
+// templateKey encodes the scoring-relevant residual state of a canonical
+// template into a string — the fleet-wide score-memo key prefix. Floats
+// are encoded as exact bit patterns: the memo may only serve a cached
+// decision to a machine whose template would reproduce it bit for bit.
+func templateKey(buf []byte, class int, groups []groupView, busSum, maxSens float64) []byte {
+	buf = buf[:0]
+	buf = appendUvarint(buf, uint64(class))
+	for i := range groups {
+		g := &groups[i]
+		buf = appendUvarint(buf, uint64(g.kind))
+		buf = appendUvarint(buf, uint64(g.free))
+		buf = appendUvarint(buf, uint64(g.occ))
+		buf = appendU64(buf, math.Float64bits(g.ws))
+		buf = appendU64(buf, math.Float64bits(g.sensMax))
+	}
+	buf = appendU64(buf, math.Float64bits(busSum))
+	buf = appendU64(buf, math.Float64bits(maxSens))
+	return buf
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}

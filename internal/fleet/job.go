@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/greenhpc/actor/internal/npb"
+	"github.com/greenhpc/actor/internal/parallel"
+	"github.com/greenhpc/actor/internal/workload"
+)
+
+// Job is one arriving unit of work: an application drawn from the
+// benchmark suite (its per-phase PMU signatures are the job's identity for
+// the score memo), a heavy-tailed size in outer iterations, and a moldable
+// thread budget — the scheduler picks the actual thread count and
+// placement, exactly as the single-node runtime picks among the paper
+// configurations.
+type Job struct {
+	// ID is the job's position in the stream; it is the canonical
+	// tie-break everywhere (event ordering, resident lists, digests).
+	ID int
+	// SigKey names the job's phase-signature bundle (the benchmark name);
+	// jobs with equal SigKey are indistinguishable to the scorer apart
+	// from size and thread budget.
+	SigKey string
+	// Phases are the parallel regions of one iteration.
+	Phases []workload.PhaseProfile
+	// Idio is the benchmark's idiosyncrasy term.
+	Idio float64
+	// MaxThreads is the job's moldable thread budget.
+	MaxThreads int
+	// Size is the number of outer iterations (heavy-tailed).
+	Size int
+	// Arrival is the job's arrival time in seconds.
+	Arrival float64
+
+	// wsJ/shareJ are the placement-independent footprint summary of the
+	// phase bundle: the work-weighted per-thread working set and sharing
+	// factor feeding cross-job L2 pressure.
+	wsJ, shareJ float64
+}
+
+// StreamConfig parameterises a seeded job stream.
+type StreamConfig struct {
+	// Jobs is the stream length.
+	Jobs int
+	// Seed feeds parallel.Rand; one seed reproduces one stream exactly.
+	Seed int64
+	// ArrivalRate is the mean arrival rate in jobs/sec (Poisson process).
+	ArrivalRate float64
+	// MeanSize is the mean job size in iterations; sizes follow a
+	// bounded Pareto (alpha 1.5), so a few jobs carry much of the work.
+	MeanSize float64
+	// MaxThreads caps the per-job thread budget (drawn uniformly from
+	// 1..MaxThreads). Zero means 4, the paper's configuration space.
+	MaxThreads int
+}
+
+// paretoAlpha shapes job sizes; 1.5 gives the heavy tail the loadgen
+// traces use while keeping a finite mean.
+const paretoAlpha = 1.5
+
+// sizeCapMult bounds the Pareto tail at this multiple of the mean so one
+// pathological draw cannot dominate a whole study.
+const sizeCapMult = 50.0
+
+// GenJobs generates the seeded arriving-job stream. Every per-job draw
+// comes from a private parallel.Rand keyed on the job index, so the stream
+// is reproducible and each job's randomness is independent of generation
+// order; only the arrival prefix-sum is sequential.
+func GenJobs(cfg StreamConfig) ([]Job, error) {
+	if cfg.Jobs <= 0 {
+		return nil, fmt.Errorf("fleet: stream of %d jobs", cfg.Jobs)
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanSize < 1 {
+		return nil, fmt.Errorf("fleet: arrival rate %g, mean size %g", cfg.ArrivalRate, cfg.MeanSize)
+	}
+	maxT := cfg.MaxThreads
+	if maxT == 0 {
+		maxT = 4
+	}
+	if maxT < 1 {
+		return nil, fmt.Errorf("fleet: max threads %d", maxT)
+	}
+	benches := npb.All()
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+
+	// Bounded Pareto with the configured mean: solve for the scale xm so
+	// E[min(xm·U^(-1/a), cap)] ≈ MeanSize, using the unbounded mean
+	// a·xm/(a−1) as the (slightly high) estimate — close enough for a
+	// workload knob.
+	xm := cfg.MeanSize * (paretoAlpha - 1) / paretoAlpha
+	if xm < 1 {
+		xm = 1
+	}
+	sizeCap := cfg.MeanSize * sizeCapMult
+
+	jobs := make([]Job, cfg.Jobs)
+	gaps := make([]float64, cfg.Jobs)
+	parallel.ForEach(cfg.Jobs, func(i int) {
+		rng := parallel.Rand(cfg.Seed, fmt.Sprintf("fleet/job/%d", i))
+		b := benches[rng.Intn(len(benches))]
+		size := xm * math.Pow(1-rng.Float64(), -1/paretoAlpha)
+		if size > sizeCap {
+			size = sizeCap
+		}
+		j := Job{
+			ID:         i,
+			SigKey:     b.Name,
+			Phases:     b.Phases,
+			Idio:       b.Idiosyncrasy,
+			MaxThreads: 1 + rng.Intn(maxT),
+			Size:       int(size),
+		}
+		if j.Size < 1 {
+			j.Size = 1
+		}
+		var work, ws, share float64
+		for pi := range b.Phases {
+			p := &b.Phases[pi]
+			work += p.Instructions
+			ws += p.Instructions * p.WorkingSetBytes
+			share += p.Instructions * p.SharingFactor
+		}
+		j.wsJ = ws / work
+		j.shareJ = share / work
+		jobs[i] = j
+		gaps[i] = rng.ExpFloat64() / cfg.ArrivalRate
+	})
+	t := 0.0
+	for i := range jobs {
+		t += gaps[i]
+		jobs[i].Arrival = t
+	}
+	return jobs, nil
+}

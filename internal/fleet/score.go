@@ -1,0 +1,461 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/greenhpc/actor/internal/machine"
+	"github.com/greenhpc/actor/internal/topology"
+)
+
+// composeFactor is the cross-job interference model: a memory-sensitive
+// job (sens = 1 − solo core utilisation) slows down with the external L2
+// pressure in its groups and with fleet bus overcommit. The same function
+// predicts a candidate's slowdown at admission and stretches resident
+// runtimes in the simulator, so admission-time QoS checks bound realised
+// degradation exactly.
+func composeFactor(sens, extPress, busTotal float64) float64 {
+	if extPress > cacheCap {
+		extPress = cacheCap
+	}
+	over := busTotal - 1
+	if over < 0 {
+		over = 0
+	}
+	f := (1 + kCache*sens*extPress) * (1 + kBus*sens*over)
+	if f > maxFactor {
+		f = maxFactor
+	}
+	return f
+}
+
+// shape is one candidate thread distribution in canonical-template space:
+// dist[i] threads on the i-th canonical group. Candidates are enumerated
+// thread count ascending, packed before spread — on an empty quad-core
+// Xeon that is exactly the paper's 1, 2a, 2b, 3, 4 order, which is what
+// makes the one-machine fleet reproduce GlobalOptimal's tie-break.
+type shape struct {
+	threads int
+	dist    distVec
+}
+
+// enumerateShapes appends the candidate shapes for a job with budget maxT
+// on a machine whose canonical groups are views: for each t ≤ maxT that
+// fits the residual free cores, a packed variant (fill canonical groups in
+// order) and a spread variant (round-robin one thread at a time). Equal
+// variants are emitted once.
+func enumerateShapes(views []groupView, maxT int, dst []shape) []shape {
+	freeTotal := 0
+	for i := range views {
+		freeTotal += views[i].free
+	}
+	if maxT > freeTotal {
+		maxT = freeTotal
+	}
+	dst = dst[:0]
+	for t := 1; t <= maxT; t++ {
+		var packed distVec
+		left := t
+		for i := range views {
+			k := views[i].free
+			if k > left {
+				k = left
+			}
+			packed[i] = int8(k)
+			left -= k
+			if left == 0 {
+				break
+			}
+		}
+		var spread distVec
+		left = t
+		for left > 0 {
+			placed := false
+			for i := range views {
+				if int(spread[i]) < views[i].free {
+					spread[i]++
+					left--
+					placed = true
+					if left == 0 {
+						break
+					}
+				}
+			}
+			if !placed {
+				break
+			}
+		}
+		dst = append(dst, shape{threads: t, dist: packed})
+		if spread != packed {
+			dst = append(dst, shape{threads: t, dist: spread})
+		}
+	}
+	return dst
+}
+
+// shapeKey canonicalises a shape into the per-kind load multiset that
+// determines its solo behaviour: which group kinds host how many threads.
+// Loads are sorted descending within a kind, so "2 threads in one big
+// group" keys the same however the canonical template happened to order
+// equal groups.
+func shapeKey(views []groupView, dist distVec) string {
+	type kl struct{ kind, load int }
+	var loads [maxGroups]kl
+	n := 0
+	for i := range views {
+		if dist[i] > 0 {
+			loads[n] = kl{views[i].kind, int(dist[i])}
+			n++
+		}
+	}
+	s := loads[:n]
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].kind != s[j].kind {
+			return s[i].kind < s[j].kind
+		}
+		return s[i].load > s[j].load
+	})
+	var b strings.Builder
+	for i, l := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:%d", l.kind, l.load)
+	}
+	return b.String()
+}
+
+// soloMetrics is the outcome of solving a job signature solo on an empty
+// machine under one shape: seconds per iteration plus the time-weighted
+// activity summary that parameterises the job's interference profile.
+type soloMetrics struct {
+	unitSec float64 // one iteration, all phases
+	busJ    float64 // time-weighted mean bus occupancy
+	sensJ   float64 // 1 − time-weighted mean core utilisation
+}
+
+// placementFor builds the canonical placement realising a shape-key on an
+// empty machine of class c: the first real groups of each kind host the
+// sorted loads. The placement Name is the shape key itself so the machine
+// model's deterministic response perturbation is keyed consistently for
+// both scorers (and memoised once).
+func (c *Class) placementFor(key string) (topology.Placement, error) {
+	pl := topology.Placement{Name: "fleet:" + key}
+	nextGroup := make([]int, len(c.kinds))
+	for _, term := range strings.Split(key, ",") {
+		var kind, load int
+		if _, err := fmt.Sscanf(term, "%d:%d", &kind, &load); err != nil {
+			return pl, fmt.Errorf("fleet: bad shape key %q", key)
+		}
+		gi := c.kindGroups[kind][nextGroup[kind]]
+		nextGroup[kind]++
+		grp := c.Topo.L2Groups[gi]
+		for i := 0; i < load; i++ {
+			pl.Cores = append(pl.Cores, grp[i])
+		}
+	}
+	return pl, nil
+}
+
+// shardedMemo is a 64-way sharded string-keyed map, the mutex sibling of
+// the machine model's lock-free phase memo: cheap enough for the fleet
+// path (entries are coarse decisions, not per-iteration hits) and safe for
+// the deterministic parallel probes that read it concurrently.
+type shardedMemo struct {
+	shards [64]struct {
+		sync.Mutex
+		m map[string]any
+	}
+}
+
+func (s *shardedMemo) shard(key string) *struct {
+	sync.Mutex
+	m map[string]any
+} {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h&63]
+}
+
+// getOrCompute returns the memoised value for key, computing and storing
+// it on first use. compute runs outside the shard lock (it can be an
+// expensive model solve); concurrent first computations of one key are
+// benign because compute is pure — last store wins with an equal value.
+func (s *shardedMemo) getOrCompute(key string, compute func() any) any {
+	sh := s.shard(key)
+	sh.Lock()
+	if v, ok := sh.m[key]; ok {
+		sh.Unlock()
+		return v
+	}
+	sh.Unlock()
+	v := compute()
+	sh.Lock()
+	if sh.m == nil {
+		sh.m = make(map[string]any)
+	}
+	sh.m[key] = v
+	sh.Unlock()
+	return v
+}
+
+// scorer holds the scoring caches shared by a scheduling run (and safely
+// by concurrent probe goroutines): solo metrics per (class, signature,
+// shape), solo-best unit times per (signature, budget), and — for the
+// incremental scorer only — the decision memo keyed on (class,
+// residual-template fingerprint, signature, budget).
+type scorer struct {
+	f *Fleet
+	// solo memoises soloMetrics; keys "solo|<class>|<sig>|<shapeKey>".
+	solo shardedMemo
+	// best memoises soloBest; keys "best|<sig>|<maxT>".
+	best shardedMemo
+	// decision memoises *candidate; keys templateKey‖sig‖maxT. Only the
+	// incremental scorer consults it; the naive reference recomputes.
+	decision shardedMemo
+	// placements memoises canonical placements per class and shape key.
+	placements shardedMemo
+
+	pool sync.Pool // *scratch
+}
+
+type scratch struct {
+	views  []groupView
+	shapes []shape
+	key    []byte
+	res    []machine.Result
+}
+
+func newScorer(f *Fleet) *scorer {
+	s := &scorer{f: f}
+	s.pool.New = func() any {
+		return &scratch{
+			views:  make([]groupView, 0, maxGroups),
+			shapes: make([]shape, 0, 2*maxGroups),
+			key:    make([]byte, 0, 256),
+			res:    make([]machine.Result, 0, 8),
+		}
+	}
+	return s
+}
+
+// soloFor solves (or recalls) the solo metrics of job signature sig under
+// shape key sk on class ci.
+func (s *scorer) soloFor(ci int, j *Job, sk string) *soloMetrics {
+	key := "solo|" + itoa(ci) + "|" + j.SigKey + "|" + sk
+	return s.solo.getOrCompute(key, func() any {
+		c := s.f.Classes[ci]
+		pl := s.placements.getOrCompute("pl|"+itoa(ci)+"|"+sk, func() any {
+			p, err := c.placementFor(sk)
+			if err != nil {
+				panic(err)
+			}
+			return p
+		}).(topology.Placement)
+		m := &soloMetrics{}
+		res := make([]machine.Result, 1)
+		var util float64
+		for pi := range j.Phases {
+			c.Model.RunPhaseSweep(&j.Phases[pi], j.Idio, []topology.Placement{pl}, res)
+			m.unitSec += res[0].TimeSec
+			m.busJ += res[0].TimeSec * res[0].Activity.BusUtilization
+			util += res[0].TimeSec * res[0].Activity.AvgCoreUtil
+		}
+		m.busJ /= m.unitSec
+		m.sensJ = 1 - util/m.unitSec
+		if m.sensJ < 0 {
+			m.sensJ = 0
+		}
+		return m
+	}).(*soloMetrics)
+}
+
+// soloBest returns the fastest solo unit time of sig across every fleet
+// class and admissible shape with budget maxT — the QoS reference point:
+// a job's degradation bound is relative to the best the fleet could have
+// given it on an empty machine.
+func (s *scorer) soloBest(j *Job) float64 {
+	key := "best|" + j.SigKey + "|" + itoa(j.MaxThreads)
+	return s.best.getOrCompute(key, func() any {
+		sc := s.pool.Get().(*scratch)
+		defer s.pool.Put(sc)
+		best := math.Inf(1)
+		for ci, c := range s.f.Classes {
+			empty := &machState{class: ci}
+			empty.recompute(c)
+			sc.views = canonGroups(c, empty, sc.views)
+			sc.shapes = enumerateShapes(sc.views, j.MaxThreads, sc.shapes)
+			for _, sh := range sc.shapes {
+				m := s.soloFor(ci, j, shapeKey(sc.views, sh.dist))
+				if m.unitSec < best {
+					best = m.unitSec
+				}
+			}
+		}
+		return best
+	}).(float64)
+}
+
+// candidate is a scoring decision for (machine template, job): the chosen
+// shape in canonical-group coordinates plus the metrics the simulator
+// needs to admit and run the job. feasible=false means no shape on this
+// template passes the job's own QoS bound.
+type candidate struct {
+	feasible bool
+	threads  int
+	dist     distVec // canonical-group coordinates
+	shapeKey string
+	unitSec  float64 // solo seconds per iteration under the shape
+	factor   float64 // predicted interference factor at admission
+	busJ     float64
+	sensJ    float64
+}
+
+// chooseShape evaluates every admissible shape of j on the canonical
+// template (views, busSum) and returns the decision: the feasible shape
+// with the fastest predicted unit time (solo × interference), candidate
+// order breaking ties. Pure function of its arguments — the incremental
+// scorer memoises it under the template fingerprint.
+func (s *scorer) chooseShape(ci int, views []groupView, busSum float64, j *Job, soloBest float64, qos float64, sc *scratch) *candidate {
+	c := s.f.Classes[ci]
+	sc.shapes = enumerateShapes(views, j.MaxThreads, sc.shapes)
+	bound := (1 + qos) * soloBest
+	dec := &candidate{}
+	bestPred := math.Inf(1)
+	for _, sh := range sc.shapes {
+		sk := shapeKey(views, sh.dist)
+		sm := s.soloFor(ci, j, sk)
+		// External cache pressure the job sees: resident working sets in
+		// the groups it occupies, thread-weighted.
+		var ext float64
+		for i := range views {
+			if k := int(sh.dist[i]); k > 0 {
+				ext += float64(k) * (views[i].ws / c.l2Bytes)
+			}
+		}
+		ext /= float64(sh.threads)
+		fac := composeFactor(sm.sensJ, ext, busSum+sm.busJ)
+		pred := sm.unitSec * fac
+		if pred > bound {
+			continue
+		}
+		if pred < bestPred {
+			bestPred = pred
+			*dec = candidate{
+				feasible: true,
+				threads:  sh.threads,
+				dist:     sh.dist,
+				shapeKey: sk,
+				unitSec:  sm.unitSec,
+				factor:   fac,
+				busJ:     sm.busJ,
+				sensJ:    sm.sensJ,
+			}
+		}
+	}
+	return dec
+}
+
+// scoreMachine runs the full admission decision of job j on machine m:
+// the template-level shape choice (memoised for the incremental scorer,
+// recomputed for the naive reference) followed by the resident-impact
+// check — placing the job must not push any resident's predicted slowdown
+// beyond its own QoS bound. The returned candidate has dist already mapped
+// to real group indices.
+func (s *scorer) scoreMachine(mi int, m *machState, j *Job, soloBest, qos float64, memoise bool) candidate {
+	if m.freeTotal < 1 {
+		return candidate{}
+	}
+	ci := m.class
+	c := s.f.Classes[ci]
+	sc := s.pool.Get().(*scratch)
+	defer s.pool.Put(sc)
+	sc.views = canonGroups(c, m, sc.views)
+
+	var dec *candidate
+	if memoise {
+		sc.key = templateKey(sc.key, ci, sc.views, m.busSum, m.maxSens)
+		key := string(sc.key) + "|" + j.SigKey + "|" + itoa(j.MaxThreads)
+		dec = s.decision.getOrCompute(key, func() any {
+			return s.chooseShape(ci, sc.views, m.busSum, j, soloBest, qos, sc)
+		}).(*candidate)
+	} else {
+		dec = s.chooseShape(ci, sc.views, m.busSum, j, soloBest, qos, sc)
+	}
+	if !dec.feasible {
+		return candidate{}
+	}
+
+	// Map the canonical-group distribution onto real groups, then check
+	// the marginal impact on every resident against its absolute bound.
+	out := *dec
+	var real distVec
+	var addWs [maxGroups]float64
+	for i := range sc.views {
+		if k := dec.dist[i]; k > 0 {
+			g := sc.views[i].real
+			real[g] = k
+			addWs[g] = wsContribution(j.wsJ, j.shareJ, int(k))
+		}
+	}
+	out.dist = real
+	newBus := m.busSum + dec.busJ
+	for _, r := range m.residents {
+		var ext float64
+		for g := 0; g < len(c.groupSize); g++ {
+			if k := int(r.dist[g]); k > 0 {
+				own := wsContribution(r.wsJ, r.shareJ, k)
+				ext += float64(k) * ((m.ws[g] - own + addWs[g]) / c.l2Bytes)
+			}
+		}
+		ext /= float64(r.threads)
+		fac := composeFactor(r.sensJ, ext, newBus)
+		if r.unitSec*fac > (1+qos)*r.soloBest {
+			return candidate{}
+		}
+	}
+	return out
+}
+
+// residentFactor recomputes the realised interference factor of resident r
+// on machine m from the current residual state — the same composeFactor
+// the admission path uses, so admission bounds are exact.
+func residentFactor(c *Class, m *machState, r *placedJob) float64 {
+	var ext float64
+	for g := 0; g < len(c.groupSize); g++ {
+		if k := int(r.dist[g]); k > 0 {
+			own := wsContribution(r.wsJ, r.shareJ, k)
+			ext += float64(k) * ((m.ws[g] - own) / c.l2Bytes)
+		}
+	}
+	ext /= float64(r.threads)
+	return composeFactor(r.sensJ, ext, m.busSum)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
