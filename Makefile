@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e load-smoke fleet-smoke fmt vet ci clean
+.PHONY: build build-cmds test race bench bench-json bench-smoke trend trend-gate dist-e2e load-smoke fleet-smoke recal-e2e fmt vet ci clean
 
 build:
 	$(GO) build ./...
@@ -58,6 +58,13 @@ load-smoke:
 ## QoS-bound violations (CI; see docs/FLEET.md).
 fleet-smoke:
 	scripts/fleet_smoke.sh
+
+## recal-e2e: end-to-end online recalibration — a real actord -recal under
+## drifted actorload traffic must promote a new bank generation with
+## provenance on /v1/bank, and rolling back must restore the original
+## generation's body byte-identically (CI; see docs/SERVING.md).
+recal-e2e:
+	scripts/recal_e2e.sh
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

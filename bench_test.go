@@ -855,3 +855,32 @@ func BenchmarkServePredictMiss(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
+
+// BenchmarkRecalObserve is BenchmarkServePredict with the online
+// recalibration loop enabled: steady state is the memo-hit path plus one
+// observation-store ingest per request (phase hash, rate vector copy,
+// reservoir admission, per-phase error EWMA). The recal tax must not break
+// the fast path's zero-allocation invariant — the store preallocates every
+// buffer and the observation rides the pooled scratch.
+func BenchmarkRecalObserve(b *testing.B) {
+	srv, req, rdr, body, w := newServeBench(b)
+	if _, err := srv.EnableRecalibration(pubactor.RecalConfig{}); err != nil {
+		b.Fatal(err)
+	}
+	rdr.Reset(body)
+	srv.ServeHTTP(w, req)
+	if w.code != http.StatusOK {
+		b.Fatalf("predict = %d", w.code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rdr.Reset(body)
+		w.code = 0
+		srv.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("predict = %d", w.code)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}

@@ -15,9 +15,18 @@
 // train → save → serve → curl walkthrough and the distributed-evaluation
 // quickstart.
 //
+// With -recal the online recalibration loop runs alongside serving:
+// predict traffic feeds a drift detector, drift (or POST /v1/recal/trigger)
+// starts a shadow retrain warm-started from the live bank, validated
+// candidates are swapped in with zero downtime (optionally after a canary
+// phase, -canary-frac), and POST /v1/recal/rollback restores the previous
+// generation instantly. GET /v1/recal/status reports the loop; see
+// cmd/actorrecalctl for the admin CLI.
+//
 // Usage:
 //
 //	actord [-bank models/bank.json] [-addr :7690]
+//	       [-recal] [-recal-interval 30s] [-recal-margin 0] [-canary-frac 0]
 package main
 
 import (
@@ -64,6 +73,10 @@ func loadingHandler() http.Handler {
 func main() {
 	f := actor.BindFlags(flag.CommandLine, actor.FlagsBank)
 	addr := flag.String("addr", ":7690", "listen address")
+	recalOn := flag.Bool("recal", false, "enable the online recalibration loop")
+	recalInterval := flag.Duration("recal-interval", 30*time.Second, "drift-check cadence of the recalibration loop")
+	recalMargin := flag.Float64("recal-margin", 0, "relative holdout improvement a candidate must clear to be promoted")
+	canaryFrac := flag.Float64("canary-frac", 0, "fraction of live traffic shadow-scored on a candidate before promotion (0 promotes immediately)")
 	flag.Parse()
 
 	var swap swapHandler
@@ -99,15 +112,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *recalOn {
+		rec, err := srv.EnableRecalibration(actor.RecalConfig{
+			Margin:     *recalMargin,
+			CanaryFrac: *canaryFrac,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		go rec.Run(ctx, *recalInterval)
+		fmt.Fprintf(os.Stderr, "actord: recalibration loop on (interval %s, margin %g, canary %g)\n",
+			*recalInterval, *recalMargin, *canaryFrac)
+	}
+
 	var ready http.Handler = srv
 	swap.h.Store(&ready)
 
 	meta := bank.Meta()
 	fmt.Fprintf(os.Stderr, "actord: serving %s bank (%d event sets, %d configs, topology %q) on %s\n",
 		meta.Kind, len(meta.EventSets), len(meta.Configs), meta.TopologyName, *addr)
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)

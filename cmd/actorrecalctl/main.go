@@ -1,0 +1,73 @@
+// Command actorrecalctl is the admin CLI of actord's online recalibration
+// loop (actord -recal):
+//
+//	actorrecalctl [-addr http://localhost:7690] status     # GET  /v1/recal/status
+//	actorrecalctl [-addr ...] trigger                      # POST /v1/recal/trigger
+//	actorrecalctl [-addr ...] promote                      # POST /v1/recal/promote
+//	actorrecalctl [-addr ...] rollback                     # POST /v1/recal/rollback
+//
+// The response body is printed verbatim; a non-2xx status exits 1, so the
+// command composes into scripts and CI gates (see scripts/recal_e2e.sh).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7690", "actord base URL")
+	timeout := flag.Duration("timeout", 2*time.Minute, "request timeout (trigger can retrain synchronously)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: actorrecalctl [-addr URL] [-timeout D] status|trigger|promote|rollback\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var method, path string
+	switch cmd := flag.Arg(0); cmd {
+	case "status":
+		method, path = http.MethodGet, "/v1/recal/status"
+	case "trigger", "promote", "rollback":
+		method, path = http.MethodPost, "/v1/recal/"+cmd
+	default:
+		fmt.Fprintf(os.Stderr, "actorrecalctl: unknown command %q\n", cmd)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	url := strings.TrimRight(*addr, "/") + path
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := (&http.Client{Timeout: *timeout}).Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "actorrecalctl: %s %s: %s\n", method, path, resp.Status)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "actorrecalctl:", err)
+	os.Exit(1)
+}

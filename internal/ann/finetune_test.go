@@ -1,0 +1,72 @@
+package ann
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFineTuneEnsembleDeterministicAndSound(t *testing.T) {
+	base, err := TrainEnsemble(synthSamples(300, 13, 0.05), 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh campaign over the same target function, different noise draw.
+	fresh := synthSamples(300, 29, 0.05)
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	cfg.WarmStartEpochs = 40
+	a, err := FineTuneEnsemble(base, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FineTuneEnsemble(base, fresh, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, -0.4, 0.6}
+	if a.Predict(x) != b.Predict(x) {
+		t.Error("fine-tuning not deterministic under a fixed seed")
+	}
+	if a.Scaler != base.Scaler {
+		t.Error("fine-tuned ensemble refit the scaler; warm-started weights need the base normalisation")
+	}
+	if len(a.Nets) != len(base.Nets) {
+		t.Fatalf("member count changed: %d → %d", len(base.Nets), len(a.Nets))
+	}
+	// The base must never be mutated by fine-tuning its copies.
+	for i, n := range a.Nets {
+		if n == base.Nets[i] {
+			t.Fatalf("member %d aliases the base network", i)
+		}
+	}
+	// Fine-tuned on-distribution error should stay in the base's ballpark:
+	// it started from the base weights and saw 300 fresh samples.
+	var baseMSE, tunedMSE float64
+	probe := synthSamples(200, 57, 0)
+	for _, s := range probe {
+		baseMSE += (base.Predict(s.X) - s.Y) * (base.Predict(s.X) - s.Y)
+		tunedMSE += (a.Predict(s.X) - s.Y) * (a.Predict(s.X) - s.Y)
+	}
+	baseMSE /= float64(len(probe))
+	tunedMSE /= float64(len(probe))
+	if math.IsNaN(tunedMSE) || tunedMSE > baseMSE*3+1e-3 {
+		t.Errorf("fine-tuned MSE %.5f much worse than base %.5f", tunedMSE, baseMSE)
+	}
+}
+
+func TestFineTuneEnsembleErrors(t *testing.T) {
+	if _, err := FineTuneEnsemble(nil, synthSamples(50, 1, 0), DefaultConfig()); err == nil {
+		t.Error("nil base accepted")
+	}
+	base, err := TrainEnsemble(synthSamples(120, 3, 0.05), 5, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FineTuneEnsemble(base, synthSamples(3, 1, 0), DefaultConfig()); err == nil {
+		t.Error("fewer samples than folds accepted")
+	}
+	small := &Ensemble{Nets: base.Nets[:2], Scaler: base.Scaler}
+	if _, err := FineTuneEnsemble(small, synthSamples(50, 1, 0), DefaultConfig()); err == nil {
+		t.Error("k < 3 base accepted")
+	}
+}

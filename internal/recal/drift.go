@@ -1,0 +1,110 @@
+package recal
+
+import "math"
+
+// DriftConfig sets the trip thresholds of the drift detector. Zero fields
+// take the defaults.
+type DriftConfig struct {
+	// NovelFrac trips when at least this fraction of the current window's
+	// observations carry a phase label absent from the reference window —
+	// the workload mix itself changed. Default 0.25.
+	NovelFrac float64
+	// MeanShiftZ trips when the current window's mean observed IPC is this
+	// many reference standard deviations away from the reference mean — a
+	// distribution shift in the input rates. Default 4.
+	MeanShiftZ float64
+	// ErrEWMA trips when any phase's prediction-error EWMA (with at least
+	// MinPhaseObs observations) exceeds it. Default 0.5.
+	ErrEWMA float64
+	// MinPhaseObs is the burn-in before a phase's EWMA may trip. Default 32.
+	MinPhaseObs uint64
+	// MinWindowIPC is how many window observations must carry an observed
+	// IPC before the mean-shift statistic is trusted. Default 16.
+	MinWindowIPC int
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.NovelFrac <= 0 {
+		c.NovelFrac = 0.25
+	}
+	if c.MeanShiftZ <= 0 {
+		c.MeanShiftZ = 4
+	}
+	if c.ErrEWMA <= 0 {
+		c.ErrEWMA = 0.5
+	}
+	if c.MinPhaseObs == 0 {
+		c.MinPhaseObs = 32
+	}
+	if c.MinWindowIPC <= 0 {
+		c.MinWindowIPC = 16
+	}
+	return c
+}
+
+// Verdict is one drift evaluation: whether the retrain trigger tripped,
+// why, and the statistics behind the decision.
+type Verdict struct {
+	Tripped bool   `json:"tripped"`
+	Reason  string `json:"reason,omitempty"`
+	// Armed reports whether the reference window has filled since the last
+	// Reset; WindowFull whether the rolling window has, too. Drift is only
+	// ever declared with both full.
+	Armed      bool    `json:"armed"`
+	WindowFull bool    `json:"window_full"`
+	NovelFrac  float64 `json:"novel_frac"`
+	MeanShiftZ float64 `json:"mean_shift_z"`
+	MaxErrEWMA float64 `json:"max_err_ewma"`
+}
+
+// CheckDrift evaluates the detector against the store's current state.
+// Purely a read: calling it never perturbs future verdicts, so the control
+// loop may poll at any cadence without changing what is detected.
+func (s *Store) CheckDrift(cfg DriftConfig) Verdict {
+	cfg = cfg.withDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	v := Verdict{
+		Armed:      s.refN >= s.cfg.RefWindow,
+		WindowFull: s.winN == len(s.win),
+	}
+	for i := range s.phases {
+		p := &s.phases[i]
+		if p.n >= cfg.MinPhaseObs && p.ewma > v.MaxErrEWMA {
+			v.MaxErrEWMA = p.ewma
+		}
+	}
+	if !v.Armed || !v.WindowFull {
+		return v
+	}
+
+	novel := 0
+	ipcN := 0
+	var ipcSum float64
+	for i := 0; i < s.winN; i++ {
+		w := &s.win[i]
+		if w.novel {
+			novel++
+		}
+		if w.hasIPC {
+			ipcN++
+			ipcSum += w.ipc
+		}
+	}
+	v.NovelFrac = float64(novel) / float64(s.winN)
+	if ipcN >= cfg.MinWindowIPC && s.refIPCN >= 2 {
+		refStd := math.Sqrt(s.refM2 / float64(s.refIPCN-1))
+		v.MeanShiftZ = math.Abs(ipcSum/float64(ipcN)-s.refMean) / math.Max(refStd, 1e-9)
+	}
+
+	switch {
+	case v.MaxErrEWMA >= cfg.ErrEWMA:
+		v.Tripped, v.Reason = true, "error-ewma"
+	case v.NovelFrac >= cfg.NovelFrac:
+		v.Tripped, v.Reason = true, "novel-phase"
+	case v.MeanShiftZ >= cfg.MeanShiftZ:
+		v.Tripped, v.Reason = true, "mean-shift"
+	}
+	return v
+}

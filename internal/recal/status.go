@@ -1,0 +1,37 @@
+package recal
+
+// Snapshot is the wire shape of GET /v1/recal/status: the controller
+// state, the store's counters and phase error table, the latest drift
+// verdict, canary progress, and the bounded event history. Every field is
+// a deterministic function of the observation sequence — no wall-clock
+// timestamps — so status bodies from a seeded serial trace are
+// byte-identical across runs.
+type Snapshot struct {
+	Enabled bool   `json:"enabled"`
+	State   string `json:"state"`
+	// Generation is the live bank's generation; History is how many prior
+	// generations are retained for rollback.
+	Generation int `json:"generation"`
+	History    int `json:"history"`
+	// Observed counts lifetime observations; WindowSeq counts since the
+	// last re-arm (promotion, rejection or rollback).
+	Observed  uint64 `json:"observed"`
+	WindowSeq uint64 `json:"window_seq"`
+	Reservoir int    `json:"reservoir"`
+	// Drift is the verdict CheckDrift returns right now.
+	Drift Verdict `json:"drift"`
+	// Phases is the per-phase prediction-error EWMA table.
+	Phases []PhaseErr `json:"phases,omitempty"`
+	Canary Canary     `json:"canary"`
+	Events []Event    `json:"events,omitempty"`
+}
+
+// Canary reports canary-mode progress.
+type Canary struct {
+	// Frac is the configured shadow-scoring fraction.
+	Frac float64 `json:"frac"`
+	// Scored and Failed count shadow predictions on the candidate since
+	// the canary began.
+	Scored uint64 `json:"scored"`
+	Failed uint64 `json:"failed"`
+}

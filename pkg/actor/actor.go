@@ -19,6 +19,13 @@
 // predictions are bit-identical across the trip, so a bank trained in one
 // process can be served by cmd/actord in another.
 //
+// Server is that serving layer, and Recalibrator keeps it honest under
+// drift: Server.EnableRecalibration streams sampled predict-path
+// observations into a drift detector, retrains shadow candidates
+// warm-started from the live bank, validates them on a held-out split and
+// promotes survivors through an atomic generation-tagged bank swap with
+// instant rollback (see docs/SERVING.md, "Continuous recalibration").
+//
 // Every cmd/ entry point (actor-train, actor-predict, actorsim, actor-live,
 // calibrate, actord) is a thin wrapper over this package.
 package actor

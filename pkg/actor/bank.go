@@ -3,6 +3,7 @@ package actor
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 
 	"github.com/greenhpc/actor/internal/core"
@@ -35,6 +36,35 @@ type Meta struct {
 	SampleConfig string `json:"sample_config"`
 	// EventSets lists each predictor's feature events (richest first).
 	EventSets [][]string `json:"event_sets,omitempty"`
+	// Generation counts online recalibrations: 0 for an offline-trained
+	// bank, incremented each time actord promotes a retrained candidate.
+	Generation int `json:"generation,omitempty"`
+	// Provenance records how a recalibrated generation came to be; nil on
+	// offline-trained banks and on banks saved by older builds.
+	Provenance *Provenance `json:"provenance,omitempty"`
+}
+
+// Provenance is the audit record of one promoted recalibration: which
+// generation it grew from, what tripped the retrain, how much data trained
+// and validated it, and the holdout errors the promotion decision compared.
+// It deliberately excludes wall-clock timestamps and canary tallies so a
+// recalibrated bank's bytes are a pure function of the training seed chain.
+type Provenance struct {
+	// Parent is the generation this bank was warm-started from.
+	Parent int `json:"parent"`
+	// Trigger is what started the retrain: "manual", or "drift:" plus the
+	// detector's reason.
+	Trigger string `json:"trigger,omitempty"`
+	// TrainSamples and HoldoutSamples count the recalibration campaign's
+	// split.
+	TrainSamples   int `json:"train_samples"`
+	HoldoutSamples int `json:"holdout_samples"`
+	// CandidateErr and LiveErr are the holdout median relative errors of
+	// the candidate and the then-live bank; Margin is the relative
+	// improvement the candidate had to clear.
+	CandidateErr float64 `json:"candidate_err"`
+	LiveErr      float64 `json:"live_err"`
+	Margin       float64 `json:"margin"`
 }
 
 // Bank is a trained predictor bank plus its platform metadata. Banks are
@@ -135,6 +165,50 @@ func (b *Bank) predictorFor(pr pmu.Rates) core.Predictor {
 		}
 	}
 	return b.preds[0]
+}
+
+// disagreement is the label-free prediction-error proxy the recalibration
+// observer records per request: the mean relative gap between the richest
+// and the most-reduced predictor's IPC predictions across the target
+// configurations. Live traffic carries no ground-truth IPC for the target
+// configs, but the two predictors were trained on the same campaign — when
+// traffic drifts off that campaign's distribution their extrapolations
+// diverge, so the gap rises with model staleness. Zero for single-predictor
+// banks. Deterministic: configs are walked in canonical meta order.
+func (b *Bank) disagreement(pr pmu.Rates) float64 {
+	if len(b.preds) < 2 {
+		return 0
+	}
+	rich, err := b.preds[0].PredictIPC(pr)
+	if err != nil {
+		return 0
+	}
+	red, err := b.preds[len(b.preds)-1].PredictIPC(pr)
+	if err != nil {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, cfg := range b.meta.Configs {
+		r, ok := rich[cfg]
+		if !ok {
+			continue
+		}
+		d, ok := red[cfg]
+		if !ok {
+			continue
+		}
+		den := math.Abs(r)
+		if den < 1e-9 {
+			den = 1e-9
+		}
+		sum += math.Abs(r-d) / den
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // BestConfig returns the single best configuration for the observed rates:

@@ -38,6 +38,8 @@ type bankFile struct {
 	Folds        int             `json:"folds,omitempty"`
 	Configs      []string        `json:"configs"`
 	SampleConfig string          `json:"sample_config"`
+	Generation   int             `json:"generation,omitempty"`
+	Provenance   *Provenance     `json:"provenance,omitempty"`
 	Predictors   []bankPredictor `json:"predictors"`
 }
 
@@ -91,6 +93,8 @@ func (b *Bank) Encode() ([]byte, error) {
 		Folds:        b.meta.Folds,
 		Configs:      b.meta.Configs,
 		SampleConfig: b.meta.SampleConfig,
+		Generation:   b.meta.Generation,
+		Provenance:   b.meta.Provenance,
 	}
 	for _, p := range b.bank.Predictors() {
 		bp := bankPredictor{}
@@ -255,5 +259,7 @@ func DecodeBank(data []byte) (*Bank, error) {
 		Folds:        bf.Folds,
 		Configs:      bf.Configs,
 		SampleConfig: bf.SampleConfig,
+		Generation:   bf.Generation,
+		Provenance:   bf.Provenance,
 	}), nil
 }

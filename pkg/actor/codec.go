@@ -209,6 +209,32 @@ func encodeBankInfo(e *wire.Emitter, info *BankInfo) {
 		}
 		e.EndArray()
 	}
+	if m.Generation != 0 {
+		e.Key("generation")
+		e.Int(int64(m.Generation))
+	}
+	if m.Provenance != nil {
+		p := m.Provenance
+		e.Key("provenance")
+		e.BeginObject()
+		e.Key("parent")
+		e.Int(int64(p.Parent))
+		if p.Trigger != "" {
+			e.Key("trigger")
+			e.Str(p.Trigger)
+		}
+		e.Key("train_samples")
+		e.Int(int64(p.TrainSamples))
+		e.Key("holdout_samples")
+		e.Int(int64(p.HoldoutSamples))
+		e.Key("candidate_err")
+		e.Float(p.CandidateErr)
+		e.Key("live_err")
+		e.Float(p.LiveErr)
+		e.Key("margin")
+		e.Float(p.Margin)
+		e.EndObject()
+	}
 	e.EndObject()
 	e.Key("benches")
 	encodeStrings(e, info.Benches)

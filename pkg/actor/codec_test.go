@@ -118,6 +118,16 @@ func TestEncodeBankInfoMatchesStdlib(t *testing.T) {
 			Configs:      []string{"1x1", "4x2"},
 			SampleConfig: "4x2",
 			EventSets:    [][]string{{"INST_RETIRED", "L2_MISSES"}, {"INST_RETIRED"}},
+			Generation:   2,
+			Provenance: &Provenance{
+				Parent:         1,
+				Trigger:        "drift:novel-phase",
+				TrainSamples:   96,
+				HoldoutSamples: 32,
+				CandidateErr:   0.041,
+				LiveErr:        0.057,
+				Margin:         0.1,
+			},
 		},
 		Benches:  []string{"SP", "CG"},
 		Topology: "2s2c1t",
@@ -133,7 +143,17 @@ func TestEncodeBankInfoMatchesStdlib(t *testing.T) {
 		},
 		Benches: []string{},
 	}
-	for _, info := range []BankInfo{full, minimal, empties} {
+	// A promoted generation whose provenance omits the optional trigger:
+	// the omitempty on trigger and the zero-generation omission both have
+	// to match the stdlib tags exactly.
+	manualGen := BankInfo{
+		Meta: Meta{
+			Kind:       "mlr",
+			Generation: 1,
+			Provenance: &Provenance{Parent: 0, TrainSamples: 3, HoldoutSamples: 1},
+		},
+	}
+	for _, info := range []BankInfo{full, minimal, empties, manualGen} {
 		got := wireBytes(t, func(e *wire.Emitter) { encodeBankInfo(e, &info) })
 		want := stdlibBytes(t, info)
 		checkBytes(t, got, want)

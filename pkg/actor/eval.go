@@ -151,17 +151,18 @@ func (s *Server) validateEval(req *EvalRequest) error {
 	if len(req.Units) == 0 {
 		return fmt.Errorf(`bad payload: "units" is required and must be non-empty`)
 	}
+	meta := s.Bank().Meta()
 	if req.Topology != s.eng.TopologyDesc() {
 		return fmt.Errorf("shard was partitioned for topology %q, this worker serves %q",
 			describeDesc(req.Topology), describeDesc(s.eng.TopologyDesc()))
 	}
-	if req.Seed != s.bank.Meta().Seed {
+	if req.Seed != meta.Seed {
 		return fmt.Errorf("shard was partitioned for seed %d, this worker's bank was trained with seed %d",
-			req.Seed, s.bank.Meta().Seed)
+			req.Seed, meta.Seed)
 	}
-	if req.BankVersion != 0 && req.BankVersion != s.bank.Meta().Version {
+	if req.BankVersion != 0 && req.BankVersion != meta.Version {
 		return fmt.Errorf("shard expects bank format version %d, this worker serves version %d",
-			req.BankVersion, s.bank.Meta().Version)
+			req.BankVersion, meta.Version)
 	}
 	if want := req.Fingerprint(); req.Shard.Fingerprint != want {
 		return fmt.Errorf("shard fingerprint %q does not match its contents (want %s): corrupt or truncated delivery",

@@ -37,9 +37,8 @@ const maxRequestBody = 1 << 20
 // phase memo (repeat sweeps are memo hits), and fanned back out. Create
 // with NewServer; Close drains the dispatcher and releases it.
 type Server struct {
-	eng  *Engine
-	bank *Bank
-	mux  *http.ServeMux
+	eng *Engine
+	mux *http.ServeMux
 
 	jobs chan *sweepJob
 	stop chan struct{}
@@ -55,15 +54,36 @@ type Server struct {
 	evals *evalCache
 
 	// memo caches fully encoded /v1/predict responses by exact canonical
-	// request (nil when ACTOR_PREDICT_MEMO=off). bankVersion joins the memo
-	// key; bankBody/bankLen are the /v1/bank response, encoded once here
-	// because the bank is immutable for the server's lifetime.
-	memo        *predictMemo
-	bankVersion int
-	bankBody    []byte
-	bankLen     []string // precomputed Content-Length header value
+	// request (nil when ACTOR_PREDICT_MEMO=off). The bank state's memo
+	// generation joins the key, so entries cached against a previous bank
+	// can never be served after a swap.
+	memo *predictMemo
+
+	// state is the served bank plus everything derived from it, swapped as
+	// one unit (SwapBank) so a request observes a single consistent bank.
+	state atomic.Pointer[bankState]
+	// swapMu serialises SwapBank; nextGen is the memo-key generation
+	// counter, monotonically increasing across swaps (including rollbacks,
+	// which install a fresh generation of old content).
+	swapMu  sync.Mutex
+	nextGen int
+
+	// recal, when non-nil, is the online recalibration subsystem
+	// (EnableRecalibration): predict traffic feeds its observation store
+	// and the /v1/recal/* admin routes come alive.
+	recal atomic.Pointer[Recalibrator]
 
 	closeOnce sync.Once
+}
+
+// bankState is one immutable served-bank snapshot: the bank, the memo key
+// generation that isolates its cache entries, and the pre-encoded /v1/bank
+// response. Handlers load it once per request and never see a torn swap.
+type bankState struct {
+	bank *Bank
+	gen  int    // memo-key generation, unique per installed state
+	body []byte // encoded /v1/bank response
+	blen []string
 }
 
 type sweepJob struct {
@@ -87,37 +107,80 @@ func NewServer(eng *Engine) (*Server, error) {
 		return nil, fmt.Errorf("actor: serving needs a bank attached to the engine")
 	}
 	s := &Server{
-		eng:         eng,
-		bank:        bank,
-		mux:         http.NewServeMux(),
-		jobs:        make(chan *sweepJob, 64),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
-		evals:       newEvalCache(256),
-		bankVersion: bank.Meta().Version,
+		eng:   eng,
+		mux:   http.NewServeMux(),
+		jobs:  make(chan *sweepJob, 64),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		evals: newEvalCache(256),
 	}
 	if os.Getenv("ACTOR_PREDICT_MEMO") != "off" {
 		s.memo = newPredictMemo()
 	}
-	info := BankInfo{
-		Meta:     bank.Meta(),
-		Benches:  eng.BenchNames(),
-		Topology: eng.TopologyDesc(),
-	}
-	body, err := encodeJSON(func(e *wire.Emitter) { encodeBankInfo(e, &info) })
+	// The initial memo generation is the bank's format version, preserving
+	// the historical key layout; swaps move strictly upward from there.
+	s.nextGen = bank.Meta().Version
+	st, err := s.encodeBankState(bank, s.nextGen)
 	if err != nil {
-		return nil, fmt.Errorf("actor: encoding bank info: %w", err)
+		return nil, err
 	}
-	s.bankBody = body
-	s.bankLen = []string{strconv.Itoa(len(body))}
+	s.state.Store(st)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/v1/bank", s.handleBank)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/eval", s.handleEval)
+	s.mux.HandleFunc("/v1/recal/status", s.handleRecalStatus)
+	s.mux.HandleFunc("/v1/recal/trigger", s.handleRecalTrigger)
+	s.mux.HandleFunc("/v1/recal/promote", s.handleRecalPromote)
+	s.mux.HandleFunc("/v1/recal/rollback", s.handleRecalRollback)
 	go s.dispatch()
 	return s, nil
+}
+
+// encodeBankState renders one bank into a complete, immutable bankState.
+func (s *Server) encodeBankState(bank *Bank, gen int) (*bankState, error) {
+	info := BankInfo{
+		Meta:     bank.Meta(),
+		Benches:  s.eng.BenchNames(),
+		Topology: s.eng.TopologyDesc(),
+	}
+	body, err := encodeJSON(func(e *wire.Emitter) { encodeBankInfo(e, &info) })
+	if err != nil {
+		return nil, fmt.Errorf("actor: encoding bank info: %w", err)
+	}
+	return &bankState{
+		bank: bank,
+		gen:  gen,
+		body: body,
+		blen: []string{strconv.Itoa(len(body))},
+	}, nil
+}
+
+// Bank returns the currently served bank.
+func (s *Server) Bank() *Bank { return s.state.Load().bank }
+
+// SwapBank atomically replaces the served bank with b: /v1/bank, /v1/predict
+// and /v1/eval all flip to the new bank in one pointer store, with zero
+// downtime and no torn state. The swap validates b against the engine's
+// platform (AttachBank) and advances the memo generation, so prediction
+// cache entries from the previous bank can never satisfy a request again.
+// In-flight requests that already loaded the old state finish against it —
+// old bytes for the old bank, never a mix.
+func (s *Server) SwapBank(b *Bank) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	st, err := s.encodeBankState(b, s.nextGen+1)
+	if err != nil {
+		return err
+	}
+	if err := s.eng.AttachBank(b); err != nil {
+		return err
+	}
+	s.nextGen++
+	s.state.Store(st)
+	return nil
 }
 
 // ServeHTTP implements http.Handler. The predict endpoint is routed with
@@ -316,11 +379,12 @@ func (s *Server) handleBank(w http.ResponseWriter, r *http.Request) {
 		writeBody(w, http.StatusMethodNotAllowed, errUseGETBody)
 		return
 	}
+	st := s.state.Load()
 	h := w.Header()
 	h["Content-Type"] = headerJSONValue
-	h["Content-Length"] = s.bankLen
+	h["Content-Length"] = st.blen
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(s.bankBody)
+	_, _ = w.Write(st.body)
 }
 
 // PredictRequest is the /v1/predict payload: the observed per-cycle event
@@ -357,11 +421,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
 		return
 	}
+	// One state load serves the whole request: the memo key, the predictor
+	// and the fallback path all see the same bank even mid-swap.
+	st := s.state.Load()
 	scan := wire.GetScanner(body)
-	done := s.tryFastPredict(w, r, scan, sc)
+	done := s.tryFastPredict(w, r, scan, sc, st)
 	wire.PutScanner(scan)
 	if !done {
-		s.slowPredict(w, r, body)
+		s.slowPredict(w, r, body, st)
 	}
 	putPredictScratch(sc)
 }
@@ -369,7 +436,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // tryFastPredict parses, predicts and responds through the wire codec.
 // It reports false — having written nothing — when the request belongs on
 // the stdlib path instead.
-func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wire.Scanner, sc *predictScratch) bool {
+func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wire.Scanner, sc *predictScratch, st *bankState) bool {
 	var phase []byte
 	isNull, err := scan.BeginObjectOrNull()
 	if err != nil {
@@ -442,23 +509,33 @@ func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wi
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return true
 	}
-	key := sc.buildMemoKey(s.bankVersion, phase)
+	key := sc.buildMemoKey(st.gen, phase)
 	if key == nil {
 		// Two mnemonics resolved to one event: merge order is
 		// map-iteration-dependent on the stdlib path, and the memo must not
 		// freeze one arbitrary outcome.
 		return false
 	}
+	rec := s.recal.Load()
 	if s.memo != nil {
-		if resp := s.memo.get(key); resp != nil {
-			writeBody(w, http.StatusOK, resp)
+		if entry := s.memo.lookup(key); entry != nil {
+			if rec != nil {
+				rec.observe(sc, phase, entry.obsErr)
+			}
+			writeBody(w, http.StatusOK, entry.resp)
 			return true
 		}
 	}
-	ranked, err := s.bank.predictPMU(sc.pmuRates())
+	pr := sc.pmuRates()
+	ranked, err := st.bank.predictPMU(pr)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return true
+	}
+	var obsErr float64
+	if rec != nil {
+		// Miss path only: hits reuse the value cached in the memo entry.
+		obsErr = st.bank.disagreement(pr)
 	}
 	e := wire.GetEmitter()
 	encodePredictResponse(e, phase, ranked)
@@ -469,7 +546,10 @@ func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wi
 		w.WriteHeader(http.StatusOK)
 	} else {
 		if s.memo != nil {
-			s.memo.put(key, respBody)
+			s.memo.put(key, respBody, obsErr)
+		}
+		if rec != nil {
+			rec.observe(sc, phase, obsErr)
 		}
 		writeBody(w, http.StatusOK, respBody)
 	}
@@ -479,7 +559,7 @@ func (s *Server) tryFastPredict(w http.ResponseWriter, r *http.Request, scan *wi
 
 // slowPredict is the historical handler over the already-read body:
 // stdlib decode for exact error text, bank.Predict, wire-encoded success.
-func (s *Server) slowPredict(w http.ResponseWriter, r *http.Request, body []byte) {
+func (s *Server) slowPredict(w http.ResponseWriter, r *http.Request, body []byte, st *bankState) {
 	var req PredictRequest
 	if err := fallbackDecode(w, body, &req); err != nil {
 		writeError(w, badPayloadStatus(err), "bad payload: %v", err)
@@ -489,7 +569,7 @@ func (s *Server) slowPredict(w http.ResponseWriter, r *http.Request, body []byte
 		writeBody(w, http.StatusBadRequest, errRatesRequiredBody)
 		return
 	}
-	ranked, err := s.bank.Predict(r.Context(), req.Rates)
+	ranked, err := st.bank.Predict(r.Context(), req.Rates)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
